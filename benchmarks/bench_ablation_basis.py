@@ -1,0 +1,22 @@
+"""Ablation A3 bench — Krylov basis choice vs panel conditioning."""
+
+from __future__ import annotations
+
+
+def test_ablation_basis(benchmark, check):
+    from repro.experiments import ablations
+
+    table = benchmark(lambda: ablations.run_basis_conditioning(
+        nx=24, s_values=[4, 8, 12]))
+    # at the largest step size the Chebyshev basis must be far better
+    # conditioned than the monomial one (paper Sec. VI remark)
+    last = table.rows[-1]
+    monomial = float(last[1])
+    chebyshev = float(last[3])
+    check(chebyshev < monomial / 10.0,
+          "Chebyshev basis conditions far better than monomial at s=12")
+    # monomial conditioning grows with s
+    mono = [float(r[1]) for r in table.rows]
+    check(mono[0] < mono[-1], "monomial kappa grows with step size")
+    print()
+    print(table.render())

@@ -1,0 +1,22 @@
+"""Ablation A2 bench — dense (bs, nodes) grid of two-stage ortho time."""
+
+from __future__ import annotations
+
+
+def test_ablation_bs_grid(benchmark, check):
+    from repro.experiments import ablations
+
+    table = benchmark(lambda: ablations.run_bs_grid())
+    # Monotonicity holds over bs values that divide m; ragged last big
+    # panels (bs = 40, 50 with m = 60) pay an extra partial second stage —
+    # a real effect the paper's divisor-only sweep never exposes.
+    divisors = [row for row in table.rows if 60 % int(row[0]) == 0]
+    for col in range(1, len(table.headers)):
+        series = [float(row[col]) for row in divisors]
+        check(all(b <= a * 1.0001 for a, b in zip(series, series[1:])),
+              f"ortho time monotone in divisor bs ({table.headers[col]})")
+        full = [float(row[col]) for row in table.rows]
+        check(min(full) == series[-1],
+              f"bs = m is the global optimum ({table.headers[col]})")
+    print()
+    print(table.render())

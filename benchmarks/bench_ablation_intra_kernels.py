@@ -1,0 +1,29 @@
+"""Ablation A5 bench — intra-block kernel shootout."""
+
+from __future__ import annotations
+
+
+def test_ablation_intra_kernels(benchmark, check):
+    from repro.experiments import ablations
+
+    table = benchmark(lambda: ablations.run_intra_kernels(
+        n=20_000, kappas=[1e4, 1e13]))
+    rows = {row[0]: row for row in table.rows}
+    # HHQR & TSQR unconditionally stable at kappa 1e13
+    for name in ("hhqr", "tsqr"):
+        check(float(rows[name][2]) < 1e-11, f"{name} stable at kappa 1e13")
+    # CholQR2 breaks down far past the eps^{-1/2} cliff
+    check(rows["cholqr2"][2] == "breakdown",
+          "CholQR2 breaks down at kappa 1e13")
+    # remedies survive
+    for name in ("shifted_cholqr3", "mixed_precision_cholqr",
+                 "sketched_cholqr"):
+        check(rows[name][2] != "breakdown" and float(rows[name][2]) < 1e-9,
+              f"{name} survives kappa 1e13")
+    # modeled time: HHQR slowest (latency-bound), CholQR2 fastest
+    check(float(rows["hhqr"][3]) > float(rows["cholqr2"][3]),
+          "HHQR modeled time > CholQR2 (paper Sec. IV-A)")
+    check(int(rows["hhqr"][4]) > int(rows["cholqr2"][4]),
+          "HHQR synchronizes far more than CholQR2")
+    print()
+    print(table.render())

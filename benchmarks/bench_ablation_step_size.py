@@ -1,0 +1,22 @@
+"""Ablation A4 bench — step-size stability of one-stage vs two-stage."""
+
+from __future__ import annotations
+
+
+def test_ablation_step_size(benchmark, check):
+    from repro.experiments import ablations
+
+    table = benchmark(lambda: ablations.run_step_size_cliff(n=5000))
+    # both schemes keep O(eps) error at the conservative s = 5 ...
+    row5 = next(r for r in table.rows if r[0] == 5)
+    for cell in (row5[1], row5[2]):
+        check(cell != "breakdown" and float(cell) < 1e-12,
+              "s=5 stable for one-stage and two-stage")
+    # ... and the two-stage scheme is at least as robust at every s
+    for row in table.rows:
+        if row[1] == "breakdown":
+            continue
+        if row[2] == "breakdown":
+            check(False, f"two-stage broke where one-stage survived (s={row[0]})")
+    print()
+    print(table.render())

@@ -1,0 +1,23 @@
+"""Ablation A6 bench — step-size strategies (live solver runs)."""
+
+from __future__ import annotations
+
+
+def test_ablation_step_strategies(benchmark, check):
+    from repro.experiments import ablations
+
+    table = benchmark(lambda: ablations.run_step_strategies(nx=32,
+                                                            maxiter=8000))
+    rows = {row[0].split(" ")[0]: row for row in table.rows}
+    # untuned aggressive step size stalls
+    check(rows["fixed"][2] == "NO",
+          "untuned s=15 breaks down (the tuning problem is real)")
+    # both remedies converge
+    check(rows["adaptive"][2] == "yes", "adaptive step size recovers")
+    check(rows["conservative"][2] == "yes",
+          "conservative s + two-stage converges without tuning")
+    # the paper's answer synchronizes no more than the adaptive one
+    check(int(rows["conservative"][5]) <= int(rows["adaptive"][5]),
+          "two-stage needs no more syncs than runtime adaptation")
+    print()
+    print(table.render())

@@ -1,0 +1,17 @@
+"""Ablation A1 bench — latency vs data-reuse split of the two-stage win."""
+
+from __future__ import annotations
+
+
+def test_ablation_sync_vs_reuse(benchmark, check):
+    from repro.experiments import ablations
+
+    table = benchmark(lambda: ablations.run_sync_vs_reuse())
+    full = float(table.rows[0][3].rstrip("x"))
+    zero_lat = float(table.rows[1][3].rstrip("x"))
+    # on the zero-latency machine the only remaining advantage is the
+    # wider-GEMM data reuse; both effects must be real
+    check(zero_lat > 1.05, "data-reuse alone still favors two-stage")
+    check(full > zero_lat, "synchronization avoidance adds on top")
+    print()
+    print(table.render())

@@ -1,0 +1,17 @@
+"""Fig. 10 bench — ortho-time breakdown of BCGS2+CholQR2 vs node count."""
+
+from __future__ import annotations
+
+
+def test_fig10_breakdown_bcgs2(benchmark, check):
+    from repro.experiments import fig10_12
+
+    table = benchmark(lambda: fig10_12.run("fig10"))
+    frac_dot = [float(row[5].rstrip("%")) for row in table.rows]
+    # paper Fig. 10b: the dot-product (reduce-bearing) share grows with
+    # node count and dominates at scale
+    check(frac_dot[-1] > frac_dot[0],
+          "dot-product share grows with node count")
+    check(frac_dot[-1] > 50.0, "dot-products dominate at 32 nodes")
+    print()
+    print(table.render())

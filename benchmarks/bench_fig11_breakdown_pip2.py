@@ -1,0 +1,19 @@
+"""Fig. 11 bench — ortho-time breakdown of BCGS-PIP2 vs node count."""
+
+from __future__ import annotations
+
+
+def test_fig11_breakdown_pip2(benchmark, check):
+    from repro.experiments import fig10_12
+
+    pip2 = benchmark(lambda: fig10_12.run("fig11"))
+    bcgs2 = fig10_12.run("fig10")
+    # paper: BCGS-PIP2 cuts the reduce-bearing dot time vs BCGS2 at every
+    # node count (5 syncs -> 2 per s steps + fewer Gram passes)
+    for row_p, row_b in zip(pip2.rows, bcgs2.rows):
+        check(float(row_p[1]) < float(row_b[1]),
+              f"PIP2 dot time < BCGS2 dot time at {row_p[0]} nodes")
+        check(float(row_p[4]) < float(row_b[4]),
+              f"PIP2 total ortho < BCGS2 at {row_p[0]} nodes")
+    print()
+    print(pip2.render())

@@ -1,0 +1,20 @@
+"""Fig. 12 bench — ortho-time breakdown of the two-stage scheme (bs = m)."""
+
+from __future__ import annotations
+
+
+def test_fig12_breakdown_two_stage(benchmark, check):
+    from repro.experiments import fig10_12
+
+    two = benchmark(lambda: fig10_12.run("fig12"))
+    pip2 = fig10_12.run("fig11")
+    for row_t, row_p in zip(two.rows, pip2.rows):
+        nodes = row_t[0]
+        # paper: the two-stage approach "avoids these global reduces and
+        # further reduced the orthogonalization time"
+        check(float(row_t[7]) < float(row_p[7]),
+              f"two-stage reduce-only time < PIP2 at {nodes} nodes")
+        check(float(row_t[4]) < float(row_p[4]),
+              f"two-stage total ortho < PIP2 at {nodes} nodes")
+    print()
+    print(two.render())

@@ -1,0 +1,29 @@
+"""Fig. 13 bench — Gauss-Seidel-preconditioned per-iteration breakdown."""
+
+from __future__ import annotations
+
+
+def test_fig13_preconditioned(benchmark, check):
+    from repro.experiments import fig13, table3
+
+    table = benchmark(lambda: fig13.run())
+    data = {(r[0], r[1]): dict(spmv=float(r[2]), ortho=float(r[3]),
+                               total=float(r[4])) for r in table.rows}
+    plain = table3.modeled_config_times(32)
+    # ortho ordering survives preconditioning at every node count
+    for nodes in (1, 8, 32):
+        ortho = {cfg: data[(nodes, cfg)]["ortho"]
+                 for cfg in ("gmres", "bcgs2", "pip2", "two_stage")}
+        check(ortho["gmres"] > ortho["bcgs2"] > ortho["pip2"]
+              > ortho["two_stage"],
+              f"preconditioned ortho ordering at {nodes} nodes")
+    # total speedup shrinks vs the unpreconditioned Table III because the
+    # preconditioner inflates the non-ortho share
+    pre_spdp = (data[(32, "gmres")]["total"]
+                / data[(32, "two_stage")]["total"])
+    plain_spdp = plain["gmres"]["total"] / plain["two_stage"]["total"]
+    check(pre_spdp < plain_spdp,
+          "preconditioning shrinks the total-time speedup (paper Fig. 13)")
+    check(pre_spdp > 1.2, "two-stage still wins overall with GS precond")
+    print()
+    print(table.render())

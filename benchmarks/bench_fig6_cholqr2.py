@@ -1,0 +1,26 @@
+"""Fig. 6 bench — CholQR2 error vs conditioning on Logscaled matrices."""
+
+from __future__ import annotations
+
+
+def test_fig6_cholqr2(benchmark, check):
+    from repro.experiments import fig6
+
+    table = benchmark(lambda: fig6.run(n=20_000, seeds=3,
+                                       kappas=[1e2, 1e4, 1e6, 1e10]))
+    rows = {row[0]: row for row in table.rows}
+    # error after pass 1 grows with kappa (the kappa^2*eps law)
+    check(float(rows["100"][2]) < float(rows["1.000e+04"][2])
+          < float(rows["1.000e+06"][2]),
+          "CholQR first-pass error grows as kappa^2")
+    # past the eps^{-1/2} cliff, CholQR either breaks down or the
+    # surviving factorization has lost all orthogonality (err1 ~ 1)
+    far = rows["1.000e+10"]
+    broke = not far[6].startswith("0/")
+    lost = far[1] != "-" and float(far[1]) > 1e-3
+    check(broke or lost, "CholQR unusable past kappa ~ eps^-1/2")
+    # wherever pass 1 succeeds, pass 2 is O(eps)
+    check(float(rows["1.000e+06"][5]) < 1e-13,
+          "CholQR2 reaches O(eps) under condition (1)")
+    print()
+    print(table.render())

@@ -1,0 +1,23 @@
+"""Fig. 7 bench — one-stage BCGS-PIP2 on glued matrices."""
+
+from __future__ import annotations
+
+
+def test_fig7_bcgs_pip2(benchmark, check):
+    from repro.experiments import fig7
+
+    table = benchmark(lambda: fig7.run(n=10_000, seeds=3,
+                                       kappas=[1e2, 1e5, 1e7]))
+    rows = {row[0]: row for row in table.rows}
+    # accumulated condition after one PIP pass stays O(1) (eq. (7))
+    for key in ("100", "1.000e+05", "1.000e+07"):
+        check(float(rows[key][1]) < 10.0,
+              "kappa(Qhat) = O(1) after first BCGS-PIP pass")
+    # second pass is O(eps) under condition (5)
+    check(float(rows["1.000e+07"][3]) < 1e-13,
+          "BCGS-PIP2 reaches O(eps) (Theorem IV.2)")
+    # single-pass error grows with conditioning
+    check(float(rows["100"][2]) < float(rows["1.000e+07"][2]),
+          "single-pass error grows with kappa")
+    print()
+    print(table.render())

@@ -1,0 +1,98 @@
+"""Host wall-time microbenchmarks of the library's hot kernels.
+
+Unlike the artifact benches (which time *regenerating* a paper table),
+these measure the real Python/NumPy execution speed of the core kernels —
+the numbers a developer profiling this library cares about.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distla import blas
+from repro.distla.multivector import DistMultiVector
+from repro.krylov.simulation import Simulation
+from repro.matrices.stencil import laplace2d
+from repro.matrices.synthetic import logscaled_matrix
+from repro.ortho.backend import DistBackend, NumpyBackend
+from repro.ortho.base import BlockDriver
+from repro.ortho.bcgs_pip import BCGSPIP2Scheme, bcgs_pip_panel
+from repro.ortho.cholqr import CholQR2
+from repro.ortho.two_stage import TwoStageScheme
+from repro.parallel.communicator import SimComm
+from repro.parallel.machine import generic_cpu
+from repro.parallel.partition import Partition
+from repro.parallel.tracing import Tracer
+
+N = 120_000
+K = 30
+
+
+@pytest.fixture
+def dist_setup():
+    comm = SimComm(generic_cpu(), 8, Tracer())
+    part = Partition(N, 8)
+    rng = np.random.default_rng(0)
+    arr = rng.standard_normal((N, K))
+    # BCGS-PIP assumes an orthonormal prefix; orthonormalize columns 0..24
+    q, _ = np.linalg.qr(arr[:, :25])
+    arr[:, :25] = q
+    basis = DistMultiVector.from_global(arr, part, comm)
+    return comm, part, basis
+
+
+def test_block_dot(benchmark, dist_setup):
+    comm, part, basis = dist_setup
+    q = basis.view_cols(slice(0, 25))
+    v = basis.view_cols(slice(25, 30))
+    benchmark(lambda: blas.block_dot(q, v))
+
+
+def test_bcgs_pip_panel(benchmark, dist_setup):
+    comm, part, basis = dist_setup
+    backend = DistBackend(comm)
+    work = basis.copy()
+
+    def op():
+        w = work.copy()
+        return bcgs_pip_panel(backend, w, 25, 25, 30)
+
+    benchmark(op)
+
+
+def test_cholqr2_numpy(benchmark, rng=np.random.default_rng(1)):
+    v = logscaled_matrix(N, 5, 1e4, rng)
+    nb = NumpyBackend()
+    benchmark(lambda: CholQR2().factor(nb, v.copy()))
+
+
+def test_full_driver_pip2(benchmark):
+    rng = np.random.default_rng(2)
+    v = logscaled_matrix(40_000, 30, 1e4, rng)
+    benchmark(lambda: BlockDriver(BCGSPIP2Scheme(), 5).run(v))
+
+
+def test_full_driver_two_stage(benchmark):
+    rng = np.random.default_rng(2)
+    v = logscaled_matrix(40_000, 30, 1e4, rng)
+    benchmark(lambda: BlockDriver(TwoStageScheme(big_step=30), 5).run(v))
+
+
+def test_spmv_distributed(benchmark):
+    sim = Simulation(laplace2d(120), ranks=8, machine=generic_cpu())
+    x = sim.vector_from(np.random.default_rng(3).standard_normal(sim.n))
+    out = sim.zeros(1)
+    benchmark(lambda: sim.matrix.matvec(x, out=out))
+
+
+def test_sstep_gmres_one_cycle(benchmark):
+    from repro.krylov.sstep_gmres import sstep_gmres
+    a = laplace2d(60)
+
+    def solve():
+        sim = Simulation(a, ranks=4, machine=generic_cpu())
+        return sstep_gmres(sim, sim.ones_solution_rhs(), s=5, restart=30,
+                           tol=1e-30, maxiter=30)
+
+    benchmark(solve)

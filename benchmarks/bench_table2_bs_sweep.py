@@ -1,0 +1,35 @@
+"""Table II bench — two-stage second-step-size sweep on 4 V100s."""
+
+from __future__ import annotations
+
+
+def test_table2_bs_sweep(benchmark, check):
+    from repro.experiments import table2
+
+    table = benchmark(lambda: table2.run())
+    ortho = {row[0]: float(row[3]) for row in table.rows}
+    total = {row[0]: float(row[4]) for row in table.rows}
+    # paper Table II ordering: GMRES > s-step(BCGS2) > bs=5 > 20 > 40 > 60
+    order = ["gmres", "bcgs2", "two_stage_bs5", "two_stage_bs20",
+             "two_stage_bs40", "two_stage_bs60"]
+    for a, b in zip(order, order[1:]):
+        check(ortho[a] > ortho[b], f"ortho({a}) > ortho({b})")
+        check(total[a] > total[b], f"total({a}) > total({b})")
+    # rough factor: bs=60 cuts ortho vs bs=5 by ~1.7x in the paper
+    ratio = ortho["two_stage_bs5"] / ortho["two_stage_bs60"]
+    check(1.2 < ratio < 3.5, "bs=m vs bs=s ortho factor in paper ballpark")
+    print()
+    print(table.render())
+
+
+def test_table2_measured_iteration_quantization(benchmark, check):
+    """Reduced-scale convergence: iterations quantize to bs multiples."""
+    from repro.experiments import table2
+
+    iters = benchmark(lambda: table2.measured_iterations(nx=64, maxiter=20000))
+    check(iters["two_stage_bs60"] % 60 == 0,
+          "two-stage(bs=60) converges on a big-panel boundary")
+    check(iters["two_stage_bs5"] % 5 == 0,
+          "bs=5 converges on a panel boundary")
+    check(iters["gmres"] <= iters["two_stage_bs60"],
+          "standard GMRES stops earliest (any iteration)")

@@ -1,0 +1,32 @@
+"""Table III bench — strong scaling of the four solver configurations."""
+
+from __future__ import annotations
+
+
+def test_table3_strong_scaling(benchmark, check):
+    from repro.experiments import table3
+
+    table = benchmark(lambda: table3.run())
+    # index rows: (nodes, config) -> (ortho, total)
+    data = {(row[0], row[1]): (float(row[4]), float(row[5]))
+            for row in table.rows}
+    for nodes in (1, 4, 32):
+        ortho = {cfg: data[(nodes, cfg)][0]
+                 for cfg in ("gmres", "bcgs2", "pip2", "two_stage")}
+        check(ortho["gmres"] > ortho["bcgs2"] > ortho["pip2"]
+              > ortho["two_stage"],
+              f"ortho ordering at {nodes} nodes")
+    # the two-stage advantage over BCGS-PIP2 grows with node count
+    # (latency share grows); paper: 1.7x at 1 node -> ~1.4-1.7x at scale
+    adv1 = data[(1, "pip2")][0] / data[(1, "two_stage")][0]
+    adv32 = data[(32, "pip2")][0] / data[(32, "two_stage")][0]
+    check(1.2 < adv1 < 3.0, "two-stage vs PIP2 factor at 1 node")
+    check(1.2 < adv32 < 3.0, "two-stage vs PIP2 factor at 32 nodes")
+    # total-time speedup of two-stage over GMRES grows with nodes
+    s1 = data[(1, "gmres")][1] / data[(1, "two_stage")][1]
+    s32 = data[(32, "gmres")][1] / data[(32, "two_stage")][1]
+    check(s32 > s1, "two-stage total speedup grows with node count")
+    check(1.4 < s1 < 2.2, "1-node total speedup near paper's 1.7x")
+    check(2.0 < s32 < 3.4, "32-node total speedup near paper's 2.5x")
+    print()
+    print(table.render())

@@ -1,0 +1,25 @@
+"""Table IV bench — per-iteration times across the matrix suite."""
+
+from __future__ import annotations
+
+
+def test_table4_matrix_suite(benchmark, check):
+    from repro.experiments import table4
+
+    table = benchmark(lambda: table4.run())
+    # index: (matrix, config) -> (ortho_ms, total_ms)
+    data = {(r[0], r[1]): (float(r[3]), float(r[4])) for r in table.rows}
+    matrices = {r[0] for r in table.rows}
+    for mat in matrices:
+        ortho = {cfg: data[(mat, cfg)][0]
+                 for cfg in ("gmres", "bcgs2", "pip2", "two_stage")}
+        check(ortho["gmres"] > ortho["bcgs2"] > ortho["pip2"]
+              > ortho["two_stage"],
+              f"{mat}: per-iteration ortho ordering (Table IV)")
+        # paper: total speedups of the two-stage approach 2.2x-2.9x
+        total_spdp = data[(mat, "gmres")][1] / data[(mat, "two_stage")][1]
+        check(1.8 < total_spdp < 3.6,
+              f"{mat}: two-stage total speedup in the paper's band "
+              f"(got {total_spdp:.1f}x)")
+    print()
+    print(table.render())

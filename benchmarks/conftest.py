@@ -1,0 +1,20 @@
+"""Benchmark-harness fixtures.
+
+Each bench file regenerates one paper artifact (table/figure) at a
+benchmark-friendly scale, asserts its qualitative claim (who wins / in
+which direction), and times the regeneration with pytest-benchmark:
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def check():
+    """Assertion helper that reports the failing claim clearly."""
+    def _check(condition: bool, claim: str) -> None:
+        assert condition, f"paper claim not reproduced: {claim}"
+    return _check

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Preconditioned s-step GMRES (the paper's Fig. 13 configuration).
+
+Solves a convection-diffusion problem with the local Gauss-Seidel
+preconditioner (block Jacobi with multicolor Gauss-Seidel per block) and
+compares iteration counts and modeled times against the unpreconditioned
+solver and a Chebyshev polynomial alternative.
+
+    python examples/preconditioned_solve.py [--nx 48]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+import repro
+from repro.precond import (
+    BlockJacobiPreconditioner,
+    ChebyshevPreconditioner,
+    JacobiPreconditioner,
+)
+from repro.utils.formatting import render_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nx", type=int, default=48)
+    parser.add_argument("--tol", type=float, default=1e-8)
+    args = parser.parse_args()
+
+    a = repro.matrices.convection_diffusion_2d(args.nx, wind=(1.0, 0.3),
+                                               diffusion=5e-2)
+    print(f"problem: upwinded convection-diffusion, n = {a.shape[0]} "
+          f"(nonsymmetric)\n")
+    configs = [
+        ("none", None),
+        ("jacobi", JacobiPreconditioner()),
+        ("block-jacobi/GS (paper Fig. 13)", BlockJacobiPreconditioner()),
+        ("block-jacobi/GS x2 sweeps", BlockJacobiPreconditioner(sweeps=2)),
+    ]
+    rows = []
+    for label, precond in configs:
+        sim = repro.Simulation(a, ranks=6)
+        b = sim.ones_solution_rhs()
+        res = repro.sstep_gmres(sim, b, s=5, restart=30, tol=args.tol,
+                                maxiter=20_000,
+                                scheme=repro.TwoStageScheme(big_step=30),
+                                precond=precond)
+        err = float(np.max(np.abs(res.x - 1.0)))
+        rows.append([label, res.iterations, f"{err:.1e}",
+                     f"{res.times.get('precond', 0.0) * 1e3:.2f}",
+                     f"{res.ortho_time * 1e3:.2f}",
+                     f"{res.total_time * 1e3:.2f}",
+                     "yes" if res.converged else "NO"])
+    print(render_table(
+        ["preconditioner", "iters", "max err", "precond ms", "ortho ms",
+         "total ms", "converged"],
+        rows, title="two-stage s-step GMRES under different preconditioners"))
+    print("\nGauss-Seidel cuts iterations most; being communication-free "
+          "it leaves the s-step communication structure (and the "
+          "two-stage advantage) intact — the paper's Fig. 13 point.")
+
+    # Chebyshev needs a definite spectrum: demonstrate it on the SPD
+    # Laplacian instead of the nonsymmetric operator above.
+    a_spd = repro.matrices.laplace2d(args.nx)
+    rows = []
+    for label, precond in [("none", None),
+                           ("chebyshev(8)",
+                            ChebyshevPreconditioner(degree=8))]:
+        sim = repro.Simulation(a_spd, ranks=6)
+        b = sim.ones_solution_rhs()
+        res = repro.sstep_gmres(sim, b, s=5, restart=30, tol=args.tol,
+                                maxiter=20_000,
+                                scheme=repro.TwoStageScheme(big_step=30),
+                                precond=precond)
+        rows.append([label, res.iterations,
+                     f"{res.total_time * 1e3:.2f}",
+                     "yes" if res.converged else "NO"])
+    print()
+    print(render_table(
+        ["preconditioner", "iters", "total ms", "converged"], rows,
+        title=f"Chebyshev on the SPD Laplacian (n = {a_spd.shape[0]})"))
+
+
+if __name__ == "__main__":
+    main()

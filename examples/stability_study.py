@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Stability study: where each orthogonalization scheme keeps O(eps).
+
+Reproduces the paper's Section VI numerics interactively: glued matrices
+with prescribed per-panel conditioning feed every block scheme; the
+script reports orthogonality error and, when a scheme's stability
+condition fails, the Cholesky breakdown — then shows the remedies
+(shifted / mixed-precision / sketched CholQR) absorbing the same panels.
+
+    python examples/stability_study.py [--n 20000]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.exceptions import CholeskyBreakdownError
+from repro.matrices.synthetic import glued_matrix, logscaled_matrix
+from repro.ortho import (
+    BCGS2Scheme,
+    BCGSPIP2Scheme,
+    BCGSPIPScheme,
+    CholQR2,
+    MixedPrecisionCholQR,
+    ShiftedCholQR,
+    SketchedCholQR,
+    TwoStageScheme,
+)
+from repro.ortho.analysis import orthogonality_error
+from repro.ortho.backend import NumpyBackend
+from repro.ortho.base import BlockDriver
+from repro.utils.formatting import render_table
+from repro.utils.rng import default_rng
+
+
+def scheme_sweep(n: int) -> None:
+    print("== inter-block schemes on glued matrices "
+          "(panel kappa sweeps, growth 2x per panel) ==")
+    rows = []
+    for panel_cond in (1e3, 1e7, 1e11):
+        g = glued_matrix(n, 5, 12, panel_cond=panel_cond, growth=2.0,
+                         rng=default_rng(17))
+        cells = [f"{panel_cond:.0e}"]
+        for scheme_f in (lambda: BCGS2Scheme(),
+                         lambda: BCGSPIPScheme(),
+                         lambda: BCGSPIP2Scheme(),
+                         lambda: TwoStageScheme(big_step=60)):
+            try:
+                out = BlockDriver(scheme_f(), 5).run(g.matrix)
+                cells.append(f"{orthogonality_error(out.q):.1e}")
+            except CholeskyBreakdownError:
+                cells.append("breakdown")
+        rows.append(cells)
+    print(render_table(
+        ["panel kappa", "bcgs2", "pip (1 pass)", "pip2", "two-stage"],
+        rows))
+    print("pip's single pass degrades as kappa^2*eps; the twice-applied "
+          "schemes and the two-stage scheme hold O(eps) until the "
+          "Pythagorean Gram loses definiteness.\n")
+
+
+def intra_sweep(n: int) -> None:
+    print("== intra-block remedies on one ill-conditioned panel ==")
+    nb = NumpyBackend()
+    rows = []
+    for kappa in (1e6, 1e10, 1e14):
+        cells = [f"{kappa:.0e}"]
+        v = logscaled_matrix(n, 5, kappa, default_rng(23))
+        for kernel in (CholQR2(), ShiftedCholQR(), MixedPrecisionCholQR(),
+                       SketchedCholQR()):
+            q = v.copy()
+            try:
+                kernel.factor(nb, q)
+                cells.append(f"{orthogonality_error(q):.1e}")
+            except CholeskyBreakdownError:
+                cells.append("breakdown")
+        rows.append(cells)
+    print(render_table(
+        ["kappa(V)", "cholqr2", "shifted", "dd-precision", "sketched"],
+        rows))
+    print("CholQR2 cliffs near eps^-1/2; the three remedies — including "
+          "the randomized sketch the paper lists as future work — extend "
+          "the range toward eps^-1.")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=20_000)
+    args = parser.parse_args()
+    scheme_sweep(args.n)
+    intra_sweep(args.n)
+
+
+if __name__ == "__main__":
+    main()

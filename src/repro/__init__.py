@@ -1,0 +1,79 @@
+"""repro — two-stage block orthogonalization for s-step GMRES.
+
+A from-scratch Python reproduction of
+
+    I. Yamazaki, A. J. Higgins, E. G. Boman, D. B. Szyld,
+    "Two-Stage Block Orthogonalization to Improve Performance of
+    s-step GMRES", IPDPS 2024 (arXiv:2402.15033),
+
+including the block-orthogonalization algorithms (BCGS2, BCGS-PIP,
+BCGS-PIP2, the two-stage scheme), the s-step GMRES solver around them,
+and an execution-driven simulator of the paper's GPU-cluster substrate
+for the performance studies.
+
+Quickstart::
+
+    import repro
+    a = repro.matrices.laplace2d(64)
+    sim = repro.Simulation(a, ranks=4)
+    result = repro.sstep_gmres(sim, scheme=repro.TwoStageScheme(60))
+
+See ``examples/quickstart.py`` and README.md.
+"""
+
+from repro._version import __version__
+from repro import config, dd, distla, matrices, ortho, parallel, precond
+from repro.exceptions import (
+    CholeskyBreakdownError,
+    ConfigurationError,
+    ConvergenceError,
+    NumericalError,
+    ReproError,
+)
+from repro.ortho import (
+    BCGS2Scheme,
+    BCGSPIP2Scheme,
+    BCGSPIPScheme,
+    CholQR,
+    CholQR2,
+    HouseholderQR,
+    MixedPrecisionCholQR,
+    ShiftedCholQR,
+    SketchedCholQR,
+    TSQRFactor,
+    TwoStageScheme,
+)
+from repro.krylov import (Simulation, adaptive_sstep_gmres, gmres,
+                          pipelined_gmres, sstep_gmres)
+
+__all__ = [
+    "__version__",
+    "config",
+    "dd",
+    "distla",
+    "matrices",
+    "ortho",
+    "parallel",
+    "precond",
+    "ReproError",
+    "ConfigurationError",
+    "NumericalError",
+    "CholeskyBreakdownError",
+    "ConvergenceError",
+    "BCGS2Scheme",
+    "BCGSPIPScheme",
+    "BCGSPIP2Scheme",
+    "TwoStageScheme",
+    "CholQR",
+    "CholQR2",
+    "ShiftedCholQR",
+    "MixedPrecisionCholQR",
+    "SketchedCholQR",
+    "HouseholderQR",
+    "TSQRFactor",
+    "Simulation",
+    "gmres",
+    "sstep_gmres",
+    "adaptive_sstep_gmres",
+    "pipelined_gmres",
+]

@@ -1,0 +1,134 @@
+"""Double-double linear-algebra kernels for mixed-precision CholQR.
+
+The mixed-precision CholQR of the paper's ref. [26] accumulates the Gram
+matrix ``G = V.T @ V`` in twice the working precision so that the computed
+``G`` carries a relative error ~``eps_dd`` instead of ``n*eps``; the
+Cholesky factorization can then succeed for kappa(V) up to ~``eps**-1``
+rather than ``eps**-0.5``.
+
+Everything here is sized for tall-skinny inputs (n up to ~1e6, k <= ~64):
+the n-dimension is fully vectorized, while the k x k loops are plain Python
+(at most a few thousand scalar dd ops).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dd.core import DDArray, dd_add, dd_sum, two_prod
+from repro.exceptions import CholeskyBreakdownError, ShapeError
+
+
+def dot_dd(x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Dd-accurate dot product(s) of columns: returns dd pair of shape [k].
+
+    ``x`` and ``y`` are (n,) or (n, k); products are formed with
+    :func:`two_prod` and summed pairwise in dd.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ShapeError(f"dot_dd operands must match, got {x.shape} vs {y.shape}")
+    p_hi, p_lo = two_prod(x, y)
+    return dd_sum(p_hi, p_lo, axis=0)
+
+
+def gram_dd(v: np.ndarray, chunk: int = 262_144) -> tuple[np.ndarray, np.ndarray]:
+    """Gram matrix ``G = V.T @ V`` accumulated in double-double.
+
+    Returns the dd pair ``(G_hi, G_lo)`` of shape (k, k); round with
+    ``G_hi + G_lo`` for a float64 result that is correctly rounded from an
+    essentially exact sum.
+
+    The n-dimension is processed in ``chunk``-row tiles to bound the
+    ``n x k x k`` temporary; each tile contributes an elementwise
+    :func:`two_prod` and the tiles combine through dd addition.
+    """
+    v = np.asarray(v, dtype=np.float64)
+    if v.ndim != 2:
+        raise ShapeError(f"gram_dd expects a 2-D array, got ndim={v.ndim}")
+    n, k = v.shape
+    acc_hi = np.zeros((k, k))
+    acc_lo = np.zeros((k, k))
+    for start in range(0, max(n, 1), chunk):
+        tile = v[start:start + chunk]
+        if tile.shape[0] == 0:
+            break
+        # outer products per row: (rows, k, k)
+        p_hi, p_lo = two_prod(tile[:, :, None], tile[:, None, :])
+        t_hi, t_lo = dd_sum(p_hi, p_lo, axis=0)
+        acc_hi, acc_lo = dd_add((acc_hi, acc_lo), (t_hi, t_lo))
+    # Symmetrize exactly: dd arithmetic above is already symmetric because
+    # two_prod(a,b) == two_prod(b,a), but enforce it against any future
+    # tiling change.
+    acc_hi = 0.5 * (acc_hi + acc_hi.T)
+    acc_lo = 0.5 * (acc_lo + acc_lo.T)
+    return acc_hi, acc_lo
+
+
+def matmul_dd(a: np.ndarray, b: np.ndarray,
+              chunk: int = 262_144) -> tuple[np.ndarray, np.ndarray]:
+    """``A.T @ B`` with dd accumulation; A is (n, j), B is (n, k).
+
+    Used for the dd-accurate inter-block projection in the mixed-precision
+    BCGS variant.  Returns a dd pair of shape (j, k).
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[0] != b.shape[0]:
+        raise ShapeError(f"matmul_dd shapes incompatible: {a.shape} x {b.shape}")
+    j, k = a.shape[1], b.shape[1]
+    acc_hi = np.zeros((j, k))
+    acc_lo = np.zeros((j, k))
+    n = a.shape[0]
+    for start in range(0, max(n, 1), chunk):
+        ta = a[start:start + chunk]
+        tb = b[start:start + chunk]
+        if ta.shape[0] == 0:
+            break
+        p_hi, p_lo = two_prod(ta[:, :, None], tb[:, None, :])
+        t_hi, t_lo = dd_sum(p_hi, p_lo, axis=0)
+        acc_hi, acc_lo = dd_add((acc_hi, acc_lo), (t_hi, t_lo))
+    return acc_hi, acc_lo
+
+
+def cholesky_dd(g_hi: np.ndarray, g_lo: np.ndarray | None = None) -> np.ndarray:
+    """Upper-triangular Cholesky factor of a dd Gram matrix.
+
+    The factorization itself runs in dd (right-looking, scalar loops over
+    the small k x k matrix) and the factor is rounded to float64 on return.
+    Raises :class:`CholeskyBreakdownError` when a pivot is non-positive,
+    mirroring LAPACK ``dpotrf``'s info > 0.
+    """
+    g_hi = np.asarray(g_hi, dtype=np.float64)
+    if g_lo is None:
+        g_lo = np.zeros_like(g_hi)
+    k = g_hi.shape[0]
+    if g_hi.shape != (k, k):
+        raise ShapeError(f"cholesky_dd expects square input, got {g_hi.shape}")
+    # Work on scalar DDArray cells.
+    a = [[DDArray(np.float64(g_hi[i, j]), np.float64(g_lo[i, j]))
+          for j in range(k)] for i in range(k)]
+    r = [[DDArray(np.float64(0.0), np.float64(0.0)) for _ in range(k)]
+         for _ in range(k)]
+    for i in range(k):
+        # diagonal: r_ii = sqrt(a_ii - sum_{p<i} r_pi^2)
+        acc = a[i][i]
+        for p in range(i):
+            acc = acc - r[p][i] * r[p][i]
+        if float(acc.hi) <= 0.0:
+            raise CholeskyBreakdownError(
+                f"dd Cholesky breakdown at pivot {i}",
+                gram_diag_min=float(acc.hi), panel_index=i)
+        rii = acc.sqrt()
+        r[i][i] = rii
+        for j in range(i + 1, k):
+            acc = a[i][j]
+            for p in range(i):
+                acc = acc - r[p][i] * r[p][j]
+            r[i][j] = acc / rii
+    out = np.zeros((k, k))
+    for i in range(k):
+        for j in range(i, k):
+            out[i, j] = float(r[i][j].to_double())
+    return out

@@ -1,0 +1,118 @@
+"""Block-row distributed multivectors (sets of long column vectors).
+
+A :class:`DistMultiVector` owns one float64 shard per rank, each of shape
+``(rows_on_rank, k)``.  Column *views* share shard memory so a Krylov
+solver can preallocate the full ``n x (m+1)`` basis once and hand
+orthogonalization kernels zero-copy windows into it — the same pattern
+Trilinos uses with Tpetra MultiVector subviews.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+from repro.parallel.communicator import SimComm
+from repro.parallel.partition import Partition
+
+
+class DistMultiVector:
+    """``n_global x k`` dense block, rows distributed by ``partition``.
+
+    Not a NumPy subclass on purpose: every arithmetic op must go through
+    the costed BLAS layer, so the container exposes only structure
+    (shards, views, gather/scatter) and no operators.
+    """
+
+    __slots__ = ("partition", "comm", "shards", "_base")
+
+    def __init__(self, partition: Partition, comm: SimComm,
+                 shards: list[np.ndarray], _base: "DistMultiVector | None" = None):
+        if len(shards) != partition.ranks:
+            raise ShapeError(
+                f"need {partition.ranks} shards, got {len(shards)}")
+        k = shards[0].shape[1] if shards else 0
+        for r, s in enumerate(shards):
+            if s.ndim != 2 or s.shape != (partition.local_count(r), k):
+                raise ShapeError(
+                    f"shard {r} has shape {s.shape}, expected "
+                    f"({partition.local_count(r)}, {k})")
+        self.partition = partition
+        self.comm = comm
+        self.shards = shards
+        self._base = _base  # keeps the owning vector alive for views
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def zeros(cls, partition: Partition, comm: SimComm, k: int) -> "DistMultiVector":
+        shards = [np.zeros((partition.local_count(r), k)) for r in range(partition.ranks)]
+        return cls(partition, comm, shards)
+
+    @classmethod
+    def from_global(cls, arr: np.ndarray, partition: Partition,
+                    comm: SimComm) -> "DistMultiVector":
+        """Scatter a global ``(n, k)`` or ``(n,)`` array into shards (copies)."""
+        arr = np.asarray(arr, dtype=np.float64)
+        if arr.ndim == 1:
+            arr = arr[:, np.newaxis]
+        if arr.shape[0] != partition.n_global:
+            raise ShapeError(
+                f"array has {arr.shape[0]} rows, partition expects "
+                f"{partition.n_global}")
+        shards = [np.array(arr[partition.local_slice(r)], copy=True)
+                  for r in range(partition.ranks)]
+        return cls(partition, comm, shards)
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def n_global(self) -> int:
+        return self.partition.n_global
+
+    @property
+    def n_cols(self) -> int:
+        return int(self.shards[0].shape[1])
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.n_global, self.n_cols)
+
+    def view_cols(self, cols: slice | int) -> "DistMultiVector":
+        """Zero-copy view of a column range (int selects one column)."""
+        if isinstance(cols, int):
+            cols = slice(cols, cols + 1)
+        shards = [s[:, cols] for s in self.shards]
+        return DistMultiVector(self.partition, self.comm, shards,
+                               _base=self._base or self)
+
+    def copy(self) -> "DistMultiVector":
+        shards = [np.array(s, copy=True) for s in self.shards]
+        return DistMultiVector(self.partition, self.comm, shards)
+
+    def to_global(self) -> np.ndarray:
+        """Gather into one ``(n, k)`` array (simulation-side; not costed)."""
+        return np.concatenate(self.shards, axis=0)
+
+    def assign_from(self, other: "DistMultiVector") -> None:
+        """Copy ``other``'s values into this vector's storage."""
+        self._check_conformal(other)
+        for mine, theirs in zip(self.shards, other.shards):
+            mine[...] = theirs
+
+    def fill(self, value: float) -> None:
+        for s in self.shards:
+            s.fill(value)
+
+    def _check_conformal(self, other: "DistMultiVector") -> None:
+        if self.partition != other.partition:
+            raise ShapeError("multivectors live on different partitions")
+        if self.n_cols != other.n_cols:
+            raise ShapeError(
+                f"column mismatch: {self.n_cols} vs {other.n_cols}")
+
+    def __repr__(self) -> str:
+        return (f"DistMultiVector(shape={self.shape}, "
+                f"ranks={self.partition.ranks})")

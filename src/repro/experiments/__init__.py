@@ -1,0 +1,18 @@
+"""Paper-reproduction experiment harness.
+
+One module per table/figure of the paper (see DESIGN.md section 4 for the
+experiment index).  Each module exposes ``run(...) -> ExperimentTable``
+plus a ``main()`` for the CLI (``repro-experiments <name>``); the
+``benchmarks/`` directory wraps the same entry points in pytest-benchmark
+harnesses.
+"""
+
+from repro.experiments.common import ExperimentTable, resolve_machine
+from repro.experiments.estimator import CycleCostEstimator, ProblemShape
+
+__all__ = [
+    "ExperimentTable",
+    "resolve_machine",
+    "CycleCostEstimator",
+    "ProblemShape",
+]

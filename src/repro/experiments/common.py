@@ -1,0 +1,84 @@
+"""Shared experiment plumbing: result tables, machine resolution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigurationError
+from repro.parallel.machine import PRESETS, MachineSpec
+from repro.utils.formatting import render_table
+
+
+@dataclass
+class ExperimentTable:
+    """A paper artifact reproduction: rows + provenance notes.
+
+    ``rows`` are printable cell lists matching ``headers``; ``notes``
+    explain substitutions (reduced scale, surrogate matrices, modeled
+    times) so the printed output is self-describing.
+    """
+
+    experiment_id: str
+    title: str
+    headers: list
+    rows: list = field(default_factory=list)
+    notes: list = field(default_factory=list)
+
+    def add_row(self, *cells) -> None:
+        self.rows.append(list(cells))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        out = render_table(self.headers, self.rows,
+                           title=f"[{self.experiment_id}] {self.title}")
+        if self.notes:
+            out += "\n" + "\n".join(f"  note: {n}" for n in self.notes)
+        return out
+
+    def cell(self, row: int, col: int):
+        return self.rows[row][col]
+
+    def column(self, col: int) -> list:
+        return [row[col] for row in self.rows]
+
+    def to_csv(self, path) -> None:
+        """Write headers + rows as CSV (notes become '#' comment lines)."""
+        import csv
+
+        with open(path, "w", newline="", encoding="utf-8") as fh:
+            for note in [f"# [{self.experiment_id}] {self.title}",
+                         *(f"# note: {n}" for n in self.notes)]:
+                fh.write(note + "\n")
+            writer = csv.writer(fh)
+            writer.writerow(self.headers)
+            writer.writerows(self.rows)
+
+
+def resolve_machine(name: str | MachineSpec) -> MachineSpec:
+    """Machine preset lookup for CLI/benchmark parameters."""
+    if isinstance(name, MachineSpec):
+        return name
+    try:
+        return PRESETS[name]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown machine {name!r}; presets: {', '.join(PRESETS)}"
+        ) from None
+
+
+def fmt(x: float, digits: int = 3) -> str:
+    """Compact scientific/decimal formatting for table cells."""
+    if x == 0:
+        return "0"
+    if abs(x) >= 1e4 or abs(x) < 1e-3:
+        return f"{x:.{digits}e}"
+    return f"{x:.{digits}g}"
+
+
+def speedup(base: float, new: float) -> str:
+    """Render a 'Nx' speedup cell like the paper's tables."""
+    if new <= 0:
+        return "-"
+    return f"{base / new:.1f}x"

@@ -1,0 +1,77 @@
+"""Fig. 8 — two-stage approach on the glued matrix.
+
+Paper setup: (n, m, bs, s) = (100000, 180, 60, 5); glued matrix whose
+panels each have kappa = O(1e7) while kappa(V_{1:j}) grows as
+2^{j-1} * O(1e7).  Track, per panel: the accumulated condition number of
+[Q_{1:l-1}, Qhat_{l:j}] after stage 1 (markers every s steps) and the
+orthogonality error of the final basis at every big-panel boundary
+(markers every bs steps).
+
+Expected shape (paper Fig. 8): even though the raw prefix condition blows
+past 1e9 (condition (9) formally violated), the pre-processing keeps the
+accumulated big panel at O(1) condition and the final error at O(eps).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import ExperimentTable, fmt
+from repro.matrices.synthetic import glued_matrix
+from repro.ortho.analysis import condition_number, orthogonality_error
+from repro.ortho.base import BlockDriver, OrthoObserver
+from repro.ortho.two_stage import TwoStageScheme
+from repro.utils.rng import default_rng
+
+
+class _Fig8Observer(OrthoObserver):
+    def __init__(self) -> None:
+        self.panel_conds: list[tuple[int, float]] = []
+        self.big_errors: list[tuple[int, float]] = []
+
+    def on_event(self, info, backend, basis) -> None:
+        if info.stage == "first":
+            self.panel_conds.append(
+                (info.hi, condition_number(basis[:, : info.hi])))
+        elif info.stage == "big_panel":
+            self.big_errors.append(
+                (info.hi, orthogonality_error(basis[:, : info.hi])))
+
+
+def run(n: int = 100_000, m: int = 180, bs: int = 60, s: int = 5,
+        panel_cond: float = 1e7, growth: float = 2.0,
+        seed: int = 8) -> ExperimentTable:
+    rng = default_rng(seed)
+    g = glued_matrix(n, s, m // s, panel_cond=panel_cond, growth=growth,
+                     rng=rng)
+    obs = _Fig8Observer()
+    driver = BlockDriver(TwoStageScheme(big_step=bs), panel_width=s)
+    out = driver.run(g.matrix, observer=obs)
+    table = ExperimentTable(
+        "fig8", f"two-stage on glued matrix (n,m,bs,s)=({n},{m},{bs},{s}), "
+                f"panel kappa {panel_cond:.0e}, growth {growth}",
+        headers=["columns", "kappa(raw prefix)", "kappa(after stage 1)",
+                 "ortho error (big-panel boundary)"])
+    err_by_col = dict(obs.big_errors)
+    for cols, cond in obs.panel_conds:
+        raw = condition_number(g.prefix(cols // s - 1))
+        table.add_row(cols, fmt(raw), fmt(cond),
+                      fmt(err_by_col[cols]) if cols in err_by_col else "")
+    final_err = orthogonality_error(out.q)
+    table.add_note(f"final ||I - Q^T Q|| = {final_err:.3e} "
+                   f"(paper: O(eps) despite condition (9) violation)")
+    return table
+
+
+def main(argv: list | None = None) -> None:
+    import argparse
+    p = argparse.ArgumentParser(description=__doc__)
+    p.add_argument("--n", type=int, default=100_000)
+    p.add_argument("--quick", action="store_true")
+    args = p.parse_args(argv)
+    n = 10_000 if args.quick else args.n
+    print(run(n=n).render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""The :class:`Simulation` bundle: matrix + machine + communicator + backend.
+
+One object carries everything a solver needs to run *and* be accounted on
+the simulated cluster.  Constructing one from a scipy matrix is the
+library's main entry point::
+
+    sim = Simulation(laplace2d(200), ranks=24, machine=summit())
+    result = sstep_gmres(sim, b, scheme=TwoStageScheme(big_step=60))
+    print(sim.tracer.report())
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.distla.multivector import DistMultiVector
+from repro.distla.spmatrix import DistSparseMatrix
+from repro.exceptions import ShapeError
+from repro.ortho.backend import DistBackend
+from repro.parallel.communicator import SimComm
+from repro.parallel.machine import MachineSpec, summit
+from repro.parallel.partition import Partition
+from repro.parallel.tracing import Tracer
+
+
+class Simulation:
+    """Distributed problem instance on a modeled machine.
+
+    Parameters
+    ----------
+    a:
+        Square scipy sparse matrix (the operator).
+    ranks:
+        Number of simulated devices (one MPI rank per device).
+    machine:
+        Hardware model; defaults to Summit (6 V100/node).
+    tracer:
+        Optional shared tracer (e.g. to accumulate across solves).
+    partition:
+        Optional explicit row partition; defaults to balanced block rows.
+    """
+
+    def __init__(self, a: sp.spmatrix, ranks: int = 4,
+                 machine: MachineSpec | None = None,
+                 tracer: Tracer | None = None,
+                 partition: Partition | None = None) -> None:
+        machine = machine if machine is not None else summit()
+        n = a.shape[0]
+        if partition is None:
+            partition = Partition(n, ranks)
+        elif partition.n_global != n or partition.ranks != ranks:
+            raise ShapeError("partition inconsistent with matrix/ranks")
+        self.machine = machine
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.comm = SimComm(machine, ranks, self.tracer)
+        self.partition = partition
+        self.matrix = DistSparseMatrix(a, partition, self.comm)
+        self.backend = DistBackend(self.comm)
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self.partition.n_global
+
+    @property
+    def ranks(self) -> int:
+        return self.partition.ranks
+
+    def vector_from(self, arr: np.ndarray) -> DistMultiVector:
+        """Scatter a global array into a distributed (multi)vector."""
+        return DistMultiVector.from_global(arr, self.partition, self.comm)
+
+    def zeros(self, k: int = 1) -> DistMultiVector:
+        return DistMultiVector.zeros(self.partition, self.comm, k)
+
+    def ones_solution_rhs(self) -> np.ndarray:
+        """RHS such that the solution is all-ones (paper Section VIII:
+        'We generated the right-hand-side vector such that the solution is
+        a vector of all ones')."""
+        return np.asarray(self.matrix.to_scipy()
+                          @ np.ones(self.n)).ravel()
+
+    def __repr__(self) -> str:
+        return (f"Simulation(n={self.n}, ranks={self.ranks}, "
+                f"machine={self.machine.name!r})")

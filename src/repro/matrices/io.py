@@ -1,0 +1,78 @@
+"""Minimal MatrixMarket coordinate I/O (self-contained, no scipy.io).
+
+Supports the subset of the format the library needs: ``matrix coordinate
+real`` with ``general`` or ``symmetric`` storage.  Round-trip tested in
+``tests/matrices/test_io.py``.  Users with real SuiteSparse downloads can
+load them through this reader and run the same experiment harness on the
+genuine matrices.
+"""
+
+from __future__ import annotations
+
+import io as _io
+from pathlib import Path
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import ConfigurationError
+
+_HEADER = "%%MatrixMarket matrix coordinate real"
+
+
+def read_matrix_market(path: str | Path | _io.TextIOBase) -> sp.csr_matrix:
+    """Parse a MatrixMarket coordinate-real file into CSR."""
+    if isinstance(path, (str, Path)):
+        with open(path, "r", encoding="ascii") as fh:
+            return read_matrix_market(fh)
+    fh = path
+    header = fh.readline().strip()
+    parts = header.lower().split()
+    if (len(parts) < 5 or parts[0] != "%%matrixmarket" or parts[1] != "matrix"
+            or parts[2] != "coordinate" or parts[3] != "real"):
+        raise ConfigurationError(f"unsupported MatrixMarket header: {header!r}")
+    storage = parts[4]
+    if storage not in ("general", "symmetric"):
+        raise ConfigurationError(f"unsupported storage {storage!r}")
+    # skip comments
+    line = fh.readline()
+    while line.startswith("%"):
+        line = fh.readline()
+    dims = line.split()
+    if len(dims) != 3:
+        raise ConfigurationError(f"bad size line: {line!r}")
+    nrows, ncols, nnz = (int(d) for d in dims)
+    rows = np.empty(nnz, dtype=np.int64)
+    cols = np.empty(nnz, dtype=np.int64)
+    vals = np.empty(nnz, dtype=np.float64)
+    for k in range(nnz):
+        entry = fh.readline().split()
+        if len(entry) != 3:
+            raise ConfigurationError(f"bad entry line {k}: {entry!r}")
+        rows[k] = int(entry[0]) - 1
+        cols[k] = int(entry[1]) - 1
+        vals[k] = float(entry[2])
+    a = sp.coo_matrix((vals, (rows, cols)), shape=(nrows, ncols))
+    if storage == "symmetric":
+        off = rows != cols
+        a = a + sp.coo_matrix((vals[off], (cols[off], rows[off])),
+                              shape=(nrows, ncols))
+    return a.tocsr()
+
+
+def write_matrix_market(a: sp.spmatrix, path: str | Path | _io.TextIOBase,
+                        comment: str = "written by repro") -> None:
+    """Write a sparse matrix as MatrixMarket coordinate real general."""
+    if isinstance(path, (str, Path)):
+        with open(path, "w", encoding="ascii") as fh:
+            write_matrix_market(a, fh, comment=comment)
+            return
+    fh = path
+    coo = sp.coo_matrix(a)
+    fh.write(_HEADER + " general\n")
+    for line in comment.splitlines():
+        fh.write(f"% {line}\n")
+    fh.write(f"{coo.shape[0]} {coo.shape[1]} {coo.nnz}\n")
+    for r, c, v in zip(coo.row, coo.col, coo.data):
+        # repr(float(...)) is the shortest string that round-trips exactly
+        fh.write(f"{r + 1} {c + 1} {float(v)!r}\n")

@@ -1,0 +1,97 @@
+"""Structured finite-difference operators (the paper's model problems).
+
+* :func:`laplace2d` — 5-point or 9-point 2D Laplacian (Tables II/III use
+  n = 2000^2; Table III says "9-points 2D Laplace").
+* :func:`laplace3d` — 7-point 3D Laplacian (Table IV "Laplace3D",
+  n = 100^3, nnz/n = 6.9 — the boundary rows bring the average below 7).
+* :func:`convection_diffusion_2d` — nonsymmetric upwinded operator, used
+  by tests and examples to exercise the solver on a genuinely
+  nonsymmetric, nondiagonalizable-ish problem.
+
+All return ``scipy.sparse.csr_matrix`` with natural (row-major grid)
+ordering; Dirichlet boundaries are eliminated (matrix acts on interior
+unknowns only, identity-free).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import ConfigurationError
+from repro.utils.validation import check_positive_int
+
+
+def _kron3(a: sp.spmatrix, b: sp.spmatrix, c: sp.spmatrix) -> sp.csr_matrix:
+    return sp.kron(sp.kron(a, b), c).tocsr()
+
+
+def _lap1d(n: int) -> sp.csr_matrix:
+    """1-D Dirichlet Laplacian tridiag(-1, 2, -1) of size n."""
+    main = 2.0 * np.ones(n)
+    off = -1.0 * np.ones(n - 1)
+    return sp.diags([off, main, off], [-1, 0, 1]).tocsr()
+
+
+def _eye(n: int) -> sp.csr_matrix:
+    return sp.identity(n, format="csr")
+
+
+def laplace2d(nx: int, ny: int | None = None, stencil: int = 5) -> sp.csr_matrix:
+    """2-D Laplacian on an ``nx x ny`` interior grid.
+
+    ``stencil=5`` is the standard cross; ``stencil=9`` is the compact
+    9-point (Mehrstellen) stencil used in the paper's Table III.
+    """
+    nx = check_positive_int(nx, "nx")
+    ny = nx if ny is None else check_positive_int(ny, "ny")
+    if stencil == 5:
+        a = sp.kronsum(_lap1d(ny), _lap1d(nx)).tocsr()
+        return a
+    if stencil == 9:
+        # Compact 9-point: 1/6 * [[-1,-4,-1],[-4,20,-4],[-1,-4,-1]]
+        tx = _lap1d(nx)
+        ty = _lap1d(ny)
+        ix = _eye(nx)
+        iy = _eye(ny)
+        # D2x (x) (I - 1/6 D2y) + (I - 1/6 D2x) (x) D2y   (Mehrstellen)
+        a = (sp.kron(tx, iy - ty / 6.0) + sp.kron(ix - tx / 6.0, ty))
+        return a.tocsr()
+    raise ConfigurationError(f"stencil must be 5 or 9, got {stencil}")
+
+
+def laplace3d(nx: int, ny: int | None = None, nz: int | None = None) -> sp.csr_matrix:
+    """3-D 7-point Laplacian on an ``nx x ny x nz`` interior grid."""
+    nx = check_positive_int(nx, "nx")
+    ny = nx if ny is None else check_positive_int(ny, "ny")
+    nz = nx if nz is None else check_positive_int(nz, "nz")
+    a = (_kron3(_lap1d(nx), _eye(ny), _eye(nz))
+         + _kron3(_eye(nx), _lap1d(ny), _eye(nz))
+         + _kron3(_eye(nx), _eye(ny), _lap1d(nz)))
+    return a.tocsr()
+
+
+def convection_diffusion_2d(nx: int, ny: int | None = None,
+                            wind: tuple[float, float] = (1.0, 0.5),
+                            diffusion: float = 1.0e-2) -> sp.csr_matrix:
+    """Upwinded convection-diffusion: nonsymmetric 5-point operator.
+
+    ``-diffusion * Lap(u) + wind . grad(u)`` with first-order upwinding,
+    grid spacing ``h = 1/(nx+1)``.  Strong winds make the operator highly
+    nonnormal — a good stress test for the s-step basis conditioning.
+    """
+    nx = check_positive_int(nx, "nx")
+    ny = nx if ny is None else check_positive_int(ny, "ny")
+    h = 1.0 / (nx + 1)
+    bx, by = wind
+
+    def upwind1d(n: int, b: float) -> sp.csr_matrix:
+        # first-order upwind d/dx on Dirichlet interior grid
+        if b >= 0:
+            return sp.diags([-np.ones(n - 1), np.ones(n)], [-1, 0]).tocsr() * (b / h)
+        return sp.diags([-np.ones(n), np.ones(n - 1)], [0, 1]).tocsr() * (-b / h)
+
+    diff = diffusion / h ** 2 * sp.kronsum(_lap1d(ny), _lap1d(nx))
+    conv = (sp.kron(upwind1d(nx, bx), _eye(ny))
+            + sp.kron(_eye(nx), upwind1d(ny, by)))
+    return (diff + conv).tocsr()

@@ -1,0 +1,114 @@
+"""Synthetic matrices with controlled conditioning (paper Section VI).
+
+Two constructions drive the numerics experiments:
+
+* **Logscaled** (Fig. 6): ``V = X @ diag(sigma) @ Y.T`` with Haar
+  orthonormal factors and log-spaced singular values — kappa(V) is
+  prescribed exactly.
+
+* **Glued** (Figs. 7, 8): a panel-structured matrix where every s-column
+  panel has a prescribed condition number while the condition number of
+  the accumulated prefix ``V_{1:j}`` grows geometrically.  We realize it
+  as ``V = X @ diag(sigma) @ blockdiag(Y_1..Y_p).T``: with block-diagonal
+  orthogonal right factor, panel ``j`` sees only its own block of singular
+  values, so per-panel and global conditioning decouple:
+
+    - panel j singular values: ``g**(j-1) * logspace(0, -log10(kp), s)``
+    - kappa(panel j) = kp for every j,
+    - kappa(V_{1:j}) = kp * g**(j-1)  (growth factor g per panel).
+
+  Fig. 8 uses kp = 1e7, g = 2 ("condition number of V_{1:j} grows as
+  2^{j-1} O(10^7)"); Fig. 7's variant uses g = 1 so panel and global
+  conditioning share "the same specified order".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import default_rng, haar_orthonormal, spectrum_logspace
+
+
+def logscaled_matrix(n: int, k: int, cond: float,
+                     rng: np.random.Generator | None = None) -> np.ndarray:
+    """The Fig. 6 test input: n x k with exact 2-norm condition ``cond``."""
+    rng = default_rng(rng)
+    x = haar_orthonormal(n, k, rng)
+    y = haar_orthonormal(k, k, rng)
+    sigma = spectrum_logspace(k, cond)
+    return (x * sigma[np.newaxis, :]) @ y.T
+
+
+@dataclass(frozen=True)
+class GluedMatrix:
+    """A glued matrix plus its ground-truth conditioning metadata."""
+
+    matrix: np.ndarray          # n x (s * n_panels)
+    panel_width: int
+    n_panels: int
+    panel_cond: float
+    growth: float
+    singular_values: np.ndarray
+
+    def panel(self, j: int) -> np.ndarray:
+        """Panel ``j`` (0-based), an ``n x s`` slab."""
+        if not 0 <= j < self.n_panels:
+            raise ConfigurationError(
+                f"panel index {j} outside [0, {self.n_panels})")
+        s = self.panel_width
+        return self.matrix[:, j * s:(j + 1) * s]
+
+    def prefix(self, j: int) -> np.ndarray:
+        """Panels 0..j concatenated (``V_{1:j+1}`` in paper notation)."""
+        return self.matrix[:, :(j + 1) * self.panel_width]
+
+    def expected_prefix_cond(self, j: int) -> float:
+        """Analytic kappa of the prefix through panel ``j`` (0-based)."""
+        return self.panel_cond * self.growth ** j
+
+
+def glued_matrix(n: int, panel_width: int, n_panels: int,
+                 panel_cond: float, growth: float = 2.0,
+                 rng: np.random.Generator | None = None) -> GluedMatrix:
+    """Build the glued matrix described in the module docstring.
+
+    Parameters
+    ----------
+    n:
+        Row count (paper Fig. 8 uses 100000).
+    panel_width:
+        Columns per panel (the paper's step size s; Fig. 8 uses 5).
+    n_panels:
+        Number of panels (Fig. 8: m / s panels across m = 180 columns).
+    panel_cond:
+        Condition number of every individual panel (Fig. 8: 1e7).
+    growth:
+        Per-panel geometric growth g of the accumulated condition number
+        (Fig. 8: 2; use 1.0 for the Fig. 7 variant).
+    """
+    if growth < 1.0:
+        raise ConfigurationError(f"growth must be >= 1, got {growth}")
+    if panel_cond < 1.0:
+        raise ConfigurationError(f"panel_cond must be >= 1, got {panel_cond}")
+    rng = default_rng(rng)
+    k_total = panel_width * n_panels
+    if k_total > n:
+        raise ConfigurationError(
+            f"total columns {k_total} exceed rows {n}")
+    x = haar_orthonormal(n, k_total, rng)
+    sigma = np.empty(k_total)
+    base = spectrum_logspace(panel_width, panel_cond)
+    for j in range(n_panels):
+        sigma[j * panel_width:(j + 1) * panel_width] = base / growth ** j
+    v = x * sigma[np.newaxis, :]
+    # block-diagonal orthogonal mixing inside each panel
+    for j in range(n_panels):
+        yj = haar_orthonormal(panel_width, panel_width, rng)
+        cols = slice(j * panel_width, (j + 1) * panel_width)
+        v[:, cols] = v[:, cols] @ yj.T
+    return GluedMatrix(matrix=v, panel_width=panel_width, n_panels=n_panels,
+                       panel_cond=panel_cond, growth=growth,
+                       singular_values=sigma)

@@ -1,0 +1,83 @@
+"""Block orthogonalization kernels — the paper's core subject.
+
+Intra-block factorizations (Section II / Fig. 3):
+:class:`HouseholderQR`, :class:`TSQRFactor`, :class:`CholQR`,
+:class:`CholQR2`, :class:`ShiftedCholQR`, :class:`MixedPrecisionCholQR`,
+:class:`SketchedCholQR`.
+
+Inter-block schemes (Sections IV and V):
+:class:`BCGS2Scheme` (Fig. 2), :class:`BCGSPIPScheme` /
+:class:`BCGSPIP2Scheme` (Fig. 4), and the paper's contribution
+:class:`TwoStageScheme` (Fig. 5).
+
+All schemes run against either a plain-NumPy backend (for the Section VI
+numerics, MATLAB-equivalent) or the distributed simulated backend (for
+the Section VIII performance studies) — one code path, two substrates.
+"""
+
+from repro.ortho.backend import DistBackend, NumpyBackend, OrthoBackend
+from repro.ortho.base import (
+    BlockDriver,
+    BlockOrthoScheme,
+    IntraBlockQR,
+    OrthoObserver,
+    PanelInfo,
+)
+from repro.ortho.cholqr import (
+    CholQR,
+    CholQR2,
+    MixedPrecisionCholQR,
+    ShiftedCholQR,
+    cholesky_factor,
+)
+from repro.ortho.hhqr import HouseholderQR
+from repro.ortho.tsqr import TSQRFactor
+from repro.ortho.sketched import SketchedCholQR
+from repro.ortho.cgs import cgs2_append, mgs_append
+from repro.ortho.low_sync import DCGS2Orthogonalizer, dcgs2_factor
+from repro.ortho.bcgs import BCGS2Scheme, bcgs_project
+from repro.ortho.bcgs_pip import (
+    BCGSPIP2Scheme,
+    BCGSPIPScheme,
+    bcgs_pip_panel,
+)
+from repro.ortho.two_stage import TwoStageScheme
+from repro.ortho.analysis import (
+    c1_bound,
+    condition_number,
+    orthogonality_error,
+    representation_error,
+)
+
+__all__ = [
+    "OrthoBackend",
+    "NumpyBackend",
+    "DistBackend",
+    "IntraBlockQR",
+    "BlockOrthoScheme",
+    "BlockDriver",
+    "OrthoObserver",
+    "PanelInfo",
+    "CholQR",
+    "CholQR2",
+    "ShiftedCholQR",
+    "MixedPrecisionCholQR",
+    "SketchedCholQR",
+    "cholesky_factor",
+    "HouseholderQR",
+    "TSQRFactor",
+    "cgs2_append",
+    "mgs_append",
+    "DCGS2Orthogonalizer",
+    "dcgs2_factor",
+    "BCGS2Scheme",
+    "bcgs_project",
+    "BCGSPIPScheme",
+    "BCGSPIP2Scheme",
+    "bcgs_pip_panel",
+    "TwoStageScheme",
+    "orthogonality_error",
+    "condition_number",
+    "representation_error",
+    "c1_bound",
+]

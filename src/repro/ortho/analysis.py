@@ -1,0 +1,61 @@
+"""Orthogonality / conditioning diagnostics used across experiments.
+
+These implement the quantities the paper plots and the constants of its
+stability conditions:
+
+* :func:`orthogonality_error` — ``||I - Q.T Q||_2`` (the y-axis of
+  Figs. 6-9).
+* :func:`condition_number` — 2-norm kappa (the x-axis of Figs. 6-8 and the
+  tracked quantity of Fig. 9).
+* :func:`c1_bound` — the constant ``c1(eps, n, s) = 5 (n s + s (s+1)) eps``
+  of eq. (3); condition (1) is ``c1 * kappa^2 < 1/2``.
+* :func:`cholqr_condition_limit` — the kappa above which condition (1)
+  fails, ~``eps**-0.5`` scaled by problem size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import EPS
+
+
+def orthogonality_error(q: np.ndarray) -> float:
+    """``||I - Q.T Q||_2`` — O(eps) for numerically orthonormal Q."""
+    q = np.asarray(q)
+    k = q.shape[1]
+    return float(np.linalg.norm(np.eye(k) - q.T @ q, 2))
+
+
+def condition_number(v: np.ndarray) -> float:
+    """2-norm condition number via SVD (inf for numerically rank-deficient)."""
+    s = np.linalg.svd(np.asarray(v), compute_uv=False)
+    if s[-1] == 0.0:
+        return float("inf")
+    return float(s[0] / s[-1])
+
+
+def representation_error(v: np.ndarray, q: np.ndarray, r: np.ndarray) -> float:
+    """Relative factorization residual ``||V - Q R|| / ||V||`` (Frobenius)."""
+    v = np.asarray(v)
+    denom = float(np.linalg.norm(v))
+    if denom == 0.0:
+        return 0.0
+    return float(np.linalg.norm(v - q @ r) / denom)
+
+
+def c1_bound(n: int, s: int, eps: float = EPS) -> float:
+    """The paper's eq. (3): ``c1(eps, n, s) = 5 (n s + s (s + 1)) eps``."""
+    return 5.0 * (n * s + s * (s + 1)) * eps
+
+
+def cholqr_condition_limit(n: int, s: int, eps: float = EPS) -> float:
+    """kappa threshold of condition (1): ``c1 * kappa^2 < 1/2``."""
+    return float(np.sqrt(0.5 / c1_bound(n, s, eps)))
+
+
+def gram_condition_ok(v: np.ndarray, eps: float = EPS) -> bool:
+    """Check condition (1) for a concrete panel."""
+    n, s = v.shape
+    kappa = condition_number(v)
+    return c1_bound(n, s, eps) * kappa ** 2 < 0.5

@@ -1,0 +1,79 @@
+"""Column-wise Gram-Schmidt for standard GMRES (the paper's baseline).
+
+Standard GMRES orthogonalizes one new Krylov vector per iteration;
+the paper's baseline configuration is "GMRES + CGS2" (Table III).
+:func:`cgs2_append` performs classical Gram-Schmidt with
+reorthogonalization on a single appended column: 2 projection
+synchronizations + 1 norm synchronization per iteration, BLAS-2 locality
+— which is why its orthogonalization cost dominates at scale (Fig. 10's
+baseline column).
+
+:func:`mgs_append` (modified Gram-Schmidt) is provided for completeness
+and tests; its j synchronizations per column make it even less scalable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import NumericalError
+from repro.ortho.backend import OrthoBackend
+
+
+def normalize_column(backend: OrthoBackend, basis, j: int) -> float:
+    """Normalize basis column ``j`` in place; returns the norm (1 sync)."""
+    col = backend.view(basis, slice(j, j + 1))
+    beta = float(backend.norms(col)[0])
+    if beta == 0.0:
+        raise NumericalError(f"column {j} has zero norm")
+    backend.scale_cols(col, np.array([1.0 / beta]))
+    return beta
+
+
+def cgs2_append(backend: OrthoBackend, basis, j: int) -> np.ndarray:
+    """Orthonormalize column ``j`` against columns ``0..j-1`` with CGS2.
+
+    Returns the Arnoldi coefficient column ``h`` of length ``j + 1``:
+    ``h[:j]`` are the (combined two-pass) projection coefficients and
+    ``h[j]`` the post-projection norm.  Column ``j`` is overwritten with
+    the normalized orthogonal vector.
+
+    Cost: 3 synchronizations (projection, re-projection, norm).
+    """
+    if j == 0:
+        beta = normalize_column(backend, basis, 0)
+        return np.array([beta])
+    q = backend.view(basis, slice(0, j))
+    w = backend.view(basis, slice(j, j + 1))
+    c1 = backend.dot(q, w)                  # sync 1
+    backend.update(w, q, c1)
+    c2 = backend.dot(q, w)                  # sync 2
+    backend.update(w, q, c2)
+    beta = float(backend.norms(w)[0])       # sync 3
+    if beta == 0.0:
+        raise NumericalError(
+            f"breakdown in CGS2: column {j} lies in span of previous columns")
+    backend.scale_cols(w, np.array([1.0 / beta]))
+    h = (c1 + c2)[:, 0]
+    return np.append(h, beta)
+
+
+def mgs_append(backend: OrthoBackend, basis, j: int) -> np.ndarray:
+    """Modified Gram-Schmidt append: ``j`` + 1 synchronizations."""
+    if j == 0:
+        beta = normalize_column(backend, basis, 0)
+        return np.array([beta])
+    w = backend.view(basis, slice(j, j + 1))
+    h = np.zeros(j + 1)
+    for i in range(j):
+        qi = backend.view(basis, slice(i, i + 1))
+        c = backend.dot(qi, w)              # sync per column
+        backend.update(w, qi, c)
+        h[i] = float(c[0, 0])
+    beta = float(backend.norms(w)[0])       # final norm sync
+    if beta == 0.0:
+        raise NumericalError(
+            f"breakdown in MGS: column {j} lies in span of previous columns")
+    backend.scale_cols(w, np.array([1.0 / beta]))
+    h[j] = beta
+    return h

@@ -1,0 +1,25 @@
+"""TSQR as an intra-block factorization (Demmel et al. [9]).
+
+The communication-optimal tall-skinny QR: local Householder QR per rank,
+binary-tree combination of the small R factors (log2 P small messages),
+exact Q reconstruction on the way down.  Unconditionally stable like
+HHQR, with far less latency — but its local work is still Householder
+panels (BLAS-1/2 heavy), which is why the paper's Section II notes it
+"may obtain much lower performance than BLAS-3 based CholQR" on GPUs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ortho.backend import OrthoBackend
+from repro.ortho.base import IntraBlockQR
+
+
+class TSQRFactor(IntraBlockQR):
+    """Binary-tree tall-skinny QR."""
+
+    name = "tsqr"
+
+    def factor(self, backend: OrthoBackend, v) -> np.ndarray:
+        return backend.tsqr(v)

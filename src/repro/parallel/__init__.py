@@ -1,0 +1,31 @@
+"""Execution-driven simulator of a distributed GPU cluster.
+
+The paper measures on Summit (IBM Power9 + 6 NVIDIA V100 per node,
+Spectrum MPI) and Vortex (4 V100 per node).  We reproduce the performance
+experiments on a *simulated* machine: algorithms execute for real (SPMD
+over per-rank shards, tree-order reductions), while every local kernel and
+every message is charged modeled time from a :class:`MachineSpec` through
+a :class:`CostModel`, accumulated by a :class:`Tracer`.
+
+See DESIGN.md section 3 for why this substitution preserves the paper's
+relevant behaviour (speedups are count-driven: synchronizations per s
+steps, kernel launches, and bytes moved as a function of block width).
+"""
+
+from repro.parallel.machine import MachineSpec, summit, vortex, generic_cpu
+from repro.parallel.costmodel import CostModel
+from repro.parallel.tracing import Tracer, phase_names
+from repro.parallel.partition import Partition
+from repro.parallel.communicator import SimComm
+
+__all__ = [
+    "MachineSpec",
+    "summit",
+    "vortex",
+    "generic_cpu",
+    "CostModel",
+    "Tracer",
+    "phase_names",
+    "Partition",
+    "SimComm",
+]

@@ -1,0 +1,138 @@
+"""Simulated MPI communicator over per-rank shards.
+
+:class:`SimComm` provides the two communication patterns block
+orthogonalization needs — global reductions and neighbourhood (halo)
+exchange — executing them *for real* over per-rank contributions so the
+floating-point result matches what a genuine MPI run produces with a
+binary-tree reduction order, while charging modeled time to the
+:class:`~repro.parallel.tracing.Tracer`.
+
+Why tree order matters: orthogonality-error experiments are sensitive to
+the summation order of Gram-matrix contributions.  ``sum(shards)`` in rank
+order would be a *different* algorithm than MPI's pairwise trees; we fold
+halves exactly like recursive doubling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import CommunicatorError
+from repro.parallel.costmodel import CostModel
+from repro.parallel.machine import MachineSpec
+from repro.parallel.tracing import Tracer
+
+
+class SimComm:
+    """A communicator binding ``size`` simulated ranks to one machine model.
+
+    Parameters
+    ----------
+    machine:
+        Hardware description (one rank = one device).
+    size:
+        Number of ranks.
+    tracer:
+        Modeled-time accumulator; a fresh one is created when omitted.
+    """
+
+    def __init__(self, machine: MachineSpec, size: int,
+                 tracer: Tracer | None = None) -> None:
+        if size < 1:
+            raise CommunicatorError(f"communicator size must be >= 1, got {size}")
+        self.machine = machine
+        self.size = int(size)
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.cost = CostModel(machine)
+
+    # ------------------------------------------------------------------
+    def _check_contributions(self, shards: list[np.ndarray]) -> None:
+        if len(shards) != self.size:
+            raise CommunicatorError(
+                f"expected {self.size} per-rank contributions, got {len(shards)}")
+
+    @staticmethod
+    def _tree_sum(shards: list[np.ndarray]) -> np.ndarray:
+        """Pairwise (recursive-doubling order) sum of equal-shape arrays."""
+        items = [np.array(s, dtype=np.float64, copy=True) for s in shards]
+        while len(items) > 1:
+            half = len(items) // 2
+            merged = [items[i] + items[i + half] for i in range(half)]
+            if len(items) % 2:
+                merged.append(items[-1])
+            items = merged
+        return items[0]
+
+    # ------------------------------------------------------------------
+    def allreduce_sum(self, shards: list[np.ndarray]) -> np.ndarray:
+        """Sum per-rank contributions; every rank receives the result.
+
+        ``shards`` holds one equal-shape float array per rank.  The return
+        value is the single reduced array (ranks share it read-only; users
+        must copy before mutating — all library callers treat it as
+        immutable, matching the redundant-storage convention of Sec. VII:
+        "the resulting matrix R is stored redundantly on all the MPI
+        processes").
+        """
+        self._check_contributions(shards)
+        result = self._tree_sum(shards)
+        payload = float(result.nbytes)
+        self.tracer.add("allreduce", self.cost.allreduce(payload, self.size))
+        return result
+
+    def allreduce_scalar(self, values: list[float]) -> float:
+        """Scalar allreduce (same cost floor as a tiny message)."""
+        self._check_contributions([np.asarray(v) for v in values])
+        result = self._tree_sum([np.asarray(float(v)) for v in values])
+        self.tracer.add("allreduce", self.cost.allreduce(8.0, self.size))
+        return float(result)
+
+    def fused_allreduce_sum(self, shard_groups: list[list[np.ndarray]]
+                            ) -> list[np.ndarray]:
+        """Reduce several arrays in one collective (single latency charge).
+
+        BCGS-PIP's defining trick is fusing the inter-block projection and
+        the Gram matrix into *one* all-reduce; this models the fused
+        message: one latency, summed payload.
+
+        ``shard_groups[g][r]`` is rank ``r``'s contribution to array ``g``.
+        """
+        if not shard_groups:
+            return []
+        results = []
+        payload = 0.0
+        for shards in shard_groups:
+            self._check_contributions(shards)
+            red = self._tree_sum(shards)
+            payload += float(red.nbytes)
+            results.append(red)
+        self.tracer.add("allreduce", self.cost.allreduce(payload, self.size))
+        return results
+
+    # ------------------------------------------------------------------
+    def charge_local(self, kernel: str, per_rank_seconds: list[float],
+                     count: int = 1) -> None:
+        """Charge a concurrent local kernel: elapsed = max over ranks."""
+        if len(per_rank_seconds) != self.size:
+            raise CommunicatorError(
+                f"expected {self.size} per-rank costs, got {len(per_rank_seconds)}")
+        self.tracer.add(kernel, max(per_rank_seconds), count=count)
+
+    def charge_uniform(self, kernel: str, seconds: float, count: int = 1) -> None:
+        """Charge a kernel whose cost is identical on every rank."""
+        self.tracer.add(kernel, seconds, count=count)
+
+    def charge_halo(self, recv_bytes_by_rank: list[dict[int, float]]) -> None:
+        """Charge a neighbourhood exchange: elapsed = slowest rank."""
+        if len(recv_bytes_by_rank) != self.size:
+            raise CommunicatorError(
+                f"expected {self.size} halo descriptors, got {len(recv_bytes_by_rank)}")
+        worst = max(
+            self.cost.halo_exchange(recv, rank, self.size)
+            for rank, recv in enumerate(recv_bytes_by_rank)
+        )
+        self.tracer.add("halo", worst)
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return f"SimComm(machine={self.machine.name!r}, size={self.size})"

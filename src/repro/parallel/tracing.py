@@ -1,0 +1,140 @@
+"""Modeled-time accounting for the simulated machine.
+
+A :class:`Tracer` owns the simulated clock.  Code charges time with
+``tracer.add(kernel, seconds)`` inside a ``with tracer.phase("ortho")``
+region; totals are kept per phase and per (phase, kernel) pair, plus call
+counters.  This is what regenerates the paper's time-breakdown figures
+(Figs. 10-12: dot-products vs vector-updates vs the rest of the
+orthogonalization) and the SpMV/Ortho/Total columns of Tables II-IV.
+
+The tracer is deliberately not thread-safe: the simulator executes ranks
+in lockstep inside one Python thread, charging the *maximum* cost across
+concurrently-executing ranks (see :mod:`repro.distla.blas`).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+#: Canonical phase names used across the library; free-form names are also
+#: accepted (they simply show up as extra rows in reports).
+PHASES = ("spmv", "precond", "ortho", "small_dense", "other")
+
+#: Canonical kernel names (sub-categories inside a phase).
+KERNELS = (
+    "dot",        # Gram / projection GEMMs (the paper's "dot-products")
+    "update",     # V -= Q R tall updates (the paper's "vector-updates")
+    "norm",
+    "scale",
+    "chol",
+    "trsm",
+    "allreduce",
+    "halo",
+    "spmv_local",
+    "host",
+    "axpy",
+)
+
+
+def phase_names() -> tuple[str, ...]:
+    """Public accessor for the canonical phase list."""
+    return PHASES
+
+
+@dataclass
+class TraceTotals:
+    """Immutable-ish snapshot of tracer accumulators (for diffs)."""
+
+    clock: float
+    by_phase: dict[str, float]
+    by_kernel: dict[tuple[str, str], float]
+    counts: dict[tuple[str, str], int]
+
+
+@dataclass
+class Tracer:
+    """Accumulates modeled seconds per phase/kernel and a global clock."""
+
+    clock: float = 0.0
+    by_phase: dict = field(default_factory=lambda: defaultdict(float))
+    by_kernel: dict = field(default_factory=lambda: defaultdict(float))
+    counts: dict = field(default_factory=lambda: defaultdict(int))
+    _phase_stack: list = field(default_factory=lambda: ["other"])
+
+    # ------------------------------------------------------------------
+    @property
+    def current_phase(self) -> str:
+        return self._phase_stack[-1]
+
+    @contextmanager
+    def phase(self, name: str):
+        """Charge subsequent :meth:`add` calls to phase ``name``."""
+        self._phase_stack.append(name)
+        try:
+            yield self
+        finally:
+            self._phase_stack.pop()
+
+    def add(self, kernel: str, seconds: float, count: int = 1) -> None:
+        """Advance the clock by ``seconds``, attributed to ``kernel``."""
+        if seconds < 0:
+            raise ValueError(f"negative cost for kernel {kernel!r}: {seconds}")
+        phase = self.current_phase
+        self.clock += seconds
+        self.by_phase[phase] += seconds
+        self.by_kernel[(phase, kernel)] += seconds
+        self.counts[(phase, kernel)] += count
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> TraceTotals:
+        """Copy of the accumulators, e.g. to diff around a solver call."""
+        return TraceTotals(self.clock, dict(self.by_phase),
+                           dict(self.by_kernel), dict(self.counts))
+
+    def since(self, snap: TraceTotals) -> TraceTotals:
+        """Totals accumulated after ``snap`` was taken."""
+        by_phase = {k: v - snap.by_phase.get(k, 0.0)
+                    for k, v in self.by_phase.items()}
+        by_kernel = {k: v - snap.by_kernel.get(k, 0.0)
+                     for k, v in self.by_kernel.items()}
+        counts = {k: v - snap.counts.get(k, 0)
+                  for k, v in self.counts.items()}
+        return TraceTotals(self.clock - snap.clock, by_phase, by_kernel, counts)
+
+    def reset(self) -> None:
+        """Zero everything (phase stack is preserved)."""
+        self.clock = 0.0
+        self.by_phase.clear()
+        self.by_kernel.clear()
+        self.counts.clear()
+
+    # ------------------------------------------------------------------
+    def phase_seconds(self, name: str) -> float:
+        return float(self.by_phase.get(name, 0.0))
+
+    def kernel_seconds(self, phase: str, kernel: str) -> float:
+        return float(self.by_kernel.get((phase, kernel), 0.0))
+
+    def kernel_count(self, phase: str, kernel: str) -> int:
+        return int(self.counts.get((phase, kernel), 0))
+
+    def sync_count(self, phase: str | None = None) -> int:
+        """Number of global synchronizations (allreduces) charged so far."""
+        total = 0
+        for (ph, kern), c in self.counts.items():
+            if kern == "allreduce" and (phase is None or ph == phase):
+                total += c
+        return total
+
+    def report(self) -> str:
+        """Multi-line human-readable accounting summary."""
+        lines = [f"modeled clock: {self.clock:.6f} s"]
+        for ph in sorted(self.by_phase, key=lambda p: -self.by_phase[p]):
+            lines.append(f"  {ph:<12s} {self.by_phase[ph]:.6f} s")
+            kerns = [(k[1], v) for k, v in self.by_kernel.items() if k[0] == ph]
+            for kern, v in sorted(kerns, key=lambda kv: -kv[1]):
+                cnt = self.counts[(ph, kern)]
+                lines.append(f"    {kern:<12s} {v:.6f} s  (x{cnt})")
+        return "\n".join(lines)

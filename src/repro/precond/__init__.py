@@ -1,0 +1,26 @@
+"""Preconditioners for (s-step) GMRES.
+
+The paper's preconditioned experiment (Fig. 13) uses "a local
+Gauss-Seidel preconditioner (block Jacobi with Gauss-Seidel in each
+block)" with the multicolor Gauss-Seidel of Kokkos Kernels [10]; that is
+:class:`BlockJacobiPreconditioner` here.  Jacobi and Chebyshev polynomial
+preconditioners round out the set (both communication-free or
+SpMV-structured, hence compatible with the s-step MPK).
+"""
+
+from repro.precond.base import IdentityPreconditioner, Preconditioner
+from repro.precond.jacobi import JacobiPreconditioner
+from repro.precond.coloring import greedy_coloring
+from repro.precond.gauss_seidel import LocalGaussSeidel
+from repro.precond.block_jacobi import BlockJacobiPreconditioner
+from repro.precond.polynomial import ChebyshevPreconditioner
+
+__all__ = [
+    "Preconditioner",
+    "IdentityPreconditioner",
+    "JacobiPreconditioner",
+    "greedy_coloring",
+    "LocalGaussSeidel",
+    "BlockJacobiPreconditioner",
+    "ChebyshevPreconditioner",
+]

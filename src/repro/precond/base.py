@@ -1,0 +1,61 @@
+"""Preconditioner interface.
+
+A preconditioner approximates ``M ~ A`` and applies ``z = M^{-1} x`` to
+distributed vectors.  ``setup`` receives the distributed matrix once;
+``apply`` must be communication-free or charge its own communication —
+the s-step MPK calls it once per step, so its synchronization pattern
+directly affects the solver's communication profile (the reason the
+paper uses a *local* preconditioner).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.distla.multivector import DistMultiVector
+from repro.distla.spmatrix import DistSparseMatrix
+from repro.exceptions import ConfigurationError
+
+
+class Preconditioner(ABC):
+    """Base class: ``setup`` once, ``apply`` per operator application."""
+
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self._matrix: DistSparseMatrix | None = None
+
+    @property
+    def is_setup(self) -> bool:
+        return self._matrix is not None
+
+    def setup(self, matrix: DistSparseMatrix) -> "Preconditioner":
+        """Analyze/factor; returns self for chaining."""
+        self._matrix = matrix
+        self._setup_impl(matrix)
+        return self
+
+    def _setup_impl(self, matrix: DistSparseMatrix) -> None:
+        """Subclass hook (default: nothing to precompute)."""
+
+    @abstractmethod
+    def apply(self, x: DistMultiVector, out: DistMultiVector) -> None:
+        """``out = M^{-1} x`` (single-column distributed vectors)."""
+
+    def _check_ready(self) -> None:
+        if not self.is_setup:
+            raise ConfigurationError(
+                f"{type(self).__name__}.apply called before setup()")
+
+
+class IdentityPreconditioner(Preconditioner):
+    """No-op preconditioner (``M = I``)."""
+
+    name = "identity"
+
+    def setup(self, matrix: DistSparseMatrix) -> "IdentityPreconditioner":
+        self._matrix = matrix
+        return self
+
+    def apply(self, x: DistMultiVector, out: DistMultiVector) -> None:
+        out.assign_from(x)

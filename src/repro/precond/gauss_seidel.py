@@ -1,0 +1,78 @@
+"""Local Gauss-Seidel sweeps (the inner solver of block Jacobi).
+
+Two orderings:
+
+* ``"natural"`` — classic forward sweep ``z = (D + L)^{-1} x`` via a
+  sparse triangular solve (what a sequential CPU implementation does).
+* ``"multicolor"`` — the GPU-friendly ordering of the paper (Fig. 13 uses
+  "the multicolor Gauss-Seidel [10] from Kokkos Kernels"): rows are
+  processed color class by color class; all rows of one color update
+  concurrently, which we execute as one vectorized submatrix product per
+  color.
+
+Both operate on a *local* matrix block (no communication); the block
+Jacobi wrapper feeds each rank its own diagonal block.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import ConfigurationError, NumericalError
+from repro.precond.coloring import color_classes, greedy_coloring
+
+
+class LocalGaussSeidel:
+    """Gauss-Seidel sweeps on one local block ``a`` (CSR)."""
+
+    def __init__(self, a: sp.csr_matrix, ordering: str = "multicolor",
+                 sweeps: int = 1) -> None:
+        if ordering not in ("natural", "multicolor"):
+            raise ConfigurationError(f"unknown ordering {ordering!r}")
+        if sweeps < 1:
+            raise ConfigurationError(f"sweeps must be >= 1, got {sweeps}")
+        self.a = sp.csr_matrix(a)
+        if self.a.shape[0] != self.a.shape[1]:
+            raise ConfigurationError("Gauss-Seidel block must be square")
+        self.ordering = ordering
+        self.sweeps = sweeps
+        diag = self.a.diagonal()
+        if np.any(diag == 0.0):
+            raise NumericalError("Gauss-Seidel requires nonzero diagonal")
+        self.inv_diag = 1.0 / diag
+        if ordering == "natural":
+            self.lower = sp.tril(self.a, k=0).tocsr()
+            self.strict_upper = (self.a - self.lower).tocsr()
+        else:
+            self.colors = greedy_coloring(self.a)
+            self.classes = color_classes(self.colors)
+            # per-class row submatrices for the vectorized sweep
+            self.class_rows = [self.a[idx, :].tocsr() for idx in self.classes]
+
+    @property
+    def n_colors(self) -> int:
+        return len(self.classes) if self.ordering == "multicolor" else 1
+
+    def apply(self, x: np.ndarray, z: np.ndarray | None = None) -> np.ndarray:
+        """Approximate ``A^{-1} x`` with ``sweeps`` forward GS sweeps.
+
+        ``z`` optionally supplies the initial guess (default zero);
+        returns the smoothed vector.
+        """
+        x = np.asarray(x, dtype=np.float64).ravel()
+        if x.shape[0] != self.a.shape[0]:
+            raise ConfigurationError(
+                f"operand length {x.shape[0]} != block size {self.a.shape[0]}")
+        z = np.zeros_like(x) if z is None else np.array(z, dtype=np.float64)
+        for _ in range(self.sweeps):
+            if self.ordering == "natural":
+                # z <- (D + L)^{-1} (x - U z)   (forward sweep)
+                z = sp.linalg.spsolve_triangular(
+                    self.lower, x - self.strict_upper @ z, lower=True)
+            else:
+                for idx, rows in zip(self.classes, self.class_rows):
+                    # z_c <- z_c + D_c^{-1} (x_c - (A z)_c)
+                    r = x[idx] - rows @ z
+                    z[idx] += self.inv_diag[idx] * r
+        return z

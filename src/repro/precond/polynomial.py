@@ -1,0 +1,89 @@
+"""Chebyshev polynomial preconditioner.
+
+``M^{-1} = p_d(A)`` with ``p_d`` the degree-``d`` Chebyshev polynomial
+minimizing ``max |1 - lambda p(lambda)|`` on a target interval
+``[lmin, lmax]``.  Each apply costs ``d`` SpMVs (halo exchanges included)
+and no global reductions — like the paper's local Gauss-Seidel, its
+communication pattern composes cleanly with the s-step MPK.
+
+Interval defaults come from Gershgorin bounds of the assembled matrix;
+SPD problems typically use ``lmin = lmax / 30``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distla import blas as dblas
+from repro.distla.multivector import DistMultiVector
+from repro.distla.spmatrix import DistSparseMatrix
+from repro.exceptions import ConfigurationError
+from repro.precond.base import Preconditioner
+
+
+def gershgorin_interval(matrix: DistSparseMatrix) -> tuple[float, float]:
+    """Gershgorin eigenvalue bounds of the assembled operator."""
+    a = matrix.to_scipy()
+    diag = a.diagonal()
+    radius = np.asarray(abs(a).sum(axis=1)).ravel() - np.abs(diag)
+    return float(np.min(diag - radius)), float(np.max(diag + radius))
+
+
+class ChebyshevPreconditioner(Preconditioner):
+    """Degree-``d`` Chebyshev smoother on ``[lmin, lmax]``.
+
+    Standard three-term implementation (Saad, Iterative Methods, alg.
+    12.1): iterates ``z_k`` approximating ``A^{-1} x`` with residual
+    polynomial Chebyshev-minimal on the interval.
+    """
+
+    name = "chebyshev"
+
+    def __init__(self, degree: int = 4,
+                 interval: tuple[float, float] | None = None,
+                 min_fraction: float = 1.0 / 30.0) -> None:
+        if degree < 1:
+            raise ConfigurationError(f"degree must be >= 1, got {degree}")
+        super().__init__()
+        self.degree = degree
+        self._interval = interval
+        self.min_fraction = min_fraction
+        self._theta = 0.0
+        self._delta = 0.0
+
+    def _setup_impl(self, matrix: DistSparseMatrix) -> None:
+        if self._interval is None:
+            lo, hi = gershgorin_interval(matrix)
+            hi = max(hi, 1e-300)
+            lo = max(lo, hi * self.min_fraction)
+            self._interval = (lo, hi)
+        lmin, lmax = self._interval
+        if not lmax > lmin > 0:
+            raise ConfigurationError(
+                f"Chebyshev needs 0 < lmin < lmax, got [{lmin}, {lmax}]")
+        self._theta = 0.5 * (lmax + lmin)
+        self._delta = 0.5 * (lmax - lmin)
+
+    def apply(self, x: DistMultiVector, out: DistMultiVector) -> None:
+        self._check_ready()
+        matrix = self._matrix
+        theta, delta = self._theta, self._delta
+        # z_1 = x / theta;  standard Chebyshev smoother recurrence.
+        z = x.copy()
+        dblas.scale_columns(z, np.array([1.0 / theta]))
+        r = x.copy()            # residual r = x - A z
+        az = matrix.matvec(z)
+        dblas.lincomb(r, [(1.0, x), (-1.0, az)])
+        sigma = theta / delta
+        rho_old = 1.0 / sigma
+        d = r.copy()
+        dblas.scale_columns(d, np.array([1.0 / theta]))
+        for _ in range(self.degree - 1):
+            rho = 1.0 / (2.0 * sigma - rho_old)
+            # d <- rho*rho_old*d + (2*rho/delta) r ; z <- z + d
+            dblas.lincomb(d, [(rho * rho_old, d), (2.0 * rho / delta, r)])
+            dblas.lincomb(z, [(1.0, z), (1.0, d)])
+            ad = matrix.matvec(d)
+            dblas.lincomb(r, [(1.0, r), (-1.0, ad)])
+            rho_old = rho
+        out.assign_from(z)

@@ -1,0 +1,40 @@
+"""Lightweight wall-clock timers (for the *host* process).
+
+These measure real elapsed Python time, e.g. to report harness run times.
+They are distinct from :mod:`repro.parallel.tracing`, which accounts
+*modeled* time on the simulated machine.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class WallTimer:
+    """Accumulating wall-clock timer usable as a context manager.
+
+    >>> t = WallTimer()
+    >>> with t:
+    ...     pass
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    _start: float | None = field(default=None, repr=False)
+
+    def __enter__(self) -> "WallTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._start is not None, "timer exited without entering"
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+
+    def reset(self) -> None:
+        """Zero the accumulated time."""
+        self.elapsed = 0.0
+        self._start = None

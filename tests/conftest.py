@@ -1,0 +1,34 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.krylov.simulation import Simulation
+from repro.matrices.stencil import laplace2d
+from repro.parallel.machine import generic_cpu, summit
+from repro.parallel.communicator import SimComm
+from repro.parallel.tracing import Tracer
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def comm4() -> SimComm:
+    """A 4-rank communicator on the generic CPU machine."""
+    return SimComm(generic_cpu(), 4, Tracer())
+
+
+@pytest.fixture
+def comm_summit() -> SimComm:
+    return SimComm(summit(), 12, Tracer())
+
+
+@pytest.fixture
+def small_sim() -> Simulation:
+    """20x20 Laplacian distributed over 4 ranks (400 unknowns)."""
+    return Simulation(laplace2d(20), ranks=4, machine=generic_cpu())

@@ -1,0 +1,135 @@
+"""Costed block BLAS: numerical equality with NumPy + cost accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distla import blas
+from repro.distla.multivector import DistMultiVector
+from repro.exceptions import ShapeError
+from repro.parallel.partition import Partition
+
+
+@pytest.fixture
+def part() -> Partition:
+    return Partition(101, 4)
+
+
+def make(arr, part, comm):
+    return DistMultiVector.from_global(arr, part, comm)
+
+
+class TestBlockDot:
+    def test_matches_numpy(self, part, comm4, rng):
+        x = rng.standard_normal((101, 3))
+        y = rng.standard_normal((101, 2))
+        out = blas.block_dot(make(x, part, comm4), make(y, part, comm4))
+        np.testing.assert_allclose(out, x.T @ y, rtol=1e-13)
+
+    def test_one_sync(self, part, comm4, rng):
+        x = make(rng.standard_normal((101, 3)), part, comm4)
+        blas.block_dot(x, x)
+        assert comm4.tracer.sync_count() == 1
+
+    def test_multi_fuses_syncs(self, part, comm4, rng):
+        q = make(rng.standard_normal((101, 5)), part, comm4)
+        v = make(rng.standard_normal((101, 2)), part, comm4)
+        p, g = blas.block_dot_multi([(q, v), (v, v)])
+        assert comm4.tracer.sync_count() == 1
+        np.testing.assert_allclose(p, q.to_global().T @ v.to_global(),
+                                   rtol=1e-13)
+        np.testing.assert_allclose(g, v.to_global().T @ v.to_global(),
+                                   rtol=1e-13)
+
+    def test_dd_dist_matches_sequential(self, part, comm4, rng):
+        from repro.dd.linalg import matmul_dd
+        x = rng.standard_normal((101, 2))
+        y = rng.standard_normal((101, 3))
+        hi, lo = blas.dot_dd_dist(make(x, part, comm4), make(y, part, comm4))
+        ref_hi, ref_lo = matmul_dd(x, y)
+        np.testing.assert_allclose(hi + lo, ref_hi + ref_lo, rtol=1e-25)
+
+
+class TestNormsUpdatesScaling:
+    def test_column_norms(self, part, comm4, rng):
+        x = rng.standard_normal((101, 4))
+        got = blas.column_norms(make(x, part, comm4))
+        np.testing.assert_allclose(got, np.linalg.norm(x, axis=0), rtol=1e-13)
+
+    def test_block_update(self, part, comm4, rng):
+        v = rng.standard_normal((101, 2))
+        q = rng.standard_normal((101, 3))
+        r = rng.standard_normal((3, 2))
+        dv = make(v, part, comm4)
+        blas.block_update(dv, make(q, part, comm4), r)
+        np.testing.assert_allclose(dv.to_global(), v - q @ r, rtol=1e-13)
+
+    def test_block_update_shape_check(self, part, comm4, rng):
+        v = make(rng.standard_normal((101, 2)), part, comm4)
+        q = make(rng.standard_normal((101, 3)), part, comm4)
+        with pytest.raises(ShapeError):
+            blas.block_update(v, q, np.zeros((2, 2)))
+
+    def test_trsm(self, part, comm4, rng):
+        v = rng.standard_normal((101, 3))
+        r = np.triu(rng.standard_normal((3, 3))) + 3.0 * np.eye(3)
+        dv = make(v, part, comm4)
+        blas.trsm_inplace(dv, r)
+        np.testing.assert_allclose(dv.to_global(), v @ np.linalg.inv(r),
+                                   rtol=1e-11)
+
+    def test_scale_columns(self, part, comm4, rng):
+        v = rng.standard_normal((101, 3))
+        dv = make(v, part, comm4)
+        blas.scale_columns(dv, np.array([2.0, -1.0, 0.5]))
+        np.testing.assert_allclose(dv.to_global(),
+                                   v * np.array([2.0, -1.0, 0.5]), rtol=1e-15)
+
+    def test_lincomb(self, part, comm4, rng):
+        x = rng.standard_normal((101, 1))
+        y = rng.standard_normal((101, 1))
+        out = DistMultiVector.zeros(part, comm4, 1)
+        blas.lincomb(out, [(2.0, make(x, part, comm4)),
+                           (-3.0, make(y, part, comm4))])
+        np.testing.assert_allclose(out.to_global(), 2 * x - 3 * y, rtol=1e-14)
+
+    def test_lincomb_aliasing_safe(self, part, comm4, rng):
+        x = rng.standard_normal((101, 1))
+        dx = make(x, part, comm4)
+        blas.lincomb(dx, [(1.0, dx), (1.0, dx)])
+        np.testing.assert_allclose(dx.to_global(), 2 * x, rtol=1e-15)
+
+    def test_matvec_small(self, part, comm4, rng):
+        v = rng.standard_normal((101, 4))
+        y = rng.standard_normal((4, 1))
+        out = DistMultiVector.zeros(part, comm4, 1)
+        blas.matvec_small(make(v, part, comm4), y, out)
+        np.testing.assert_allclose(out.to_global(), v @ y, rtol=1e-13)
+
+    def test_copy_into(self, part, comm4, rng):
+        src = make(rng.standard_normal((101, 2)), part, comm4)
+        dst = DistMultiVector.zeros(part, comm4, 2)
+        blas.copy_into(dst, src)
+        np.testing.assert_array_equal(dst.to_global(), src.to_global())
+        assert comm4.tracer.clock > 0
+
+
+class TestCostAccounting:
+    def test_every_op_advances_clock(self, part, comm4, rng):
+        x = make(rng.standard_normal((101, 2)), part, comm4)
+        marks = [comm4.tracer.clock]
+        blas.block_dot(x, x)
+        marks.append(comm4.tracer.clock)
+        blas.column_norms(x)
+        marks.append(comm4.tracer.clock)
+        blas.scale_columns(x, np.ones(2))
+        marks.append(comm4.tracer.clock)
+        assert all(b > a for a, b in zip(marks, marks[1:]))
+
+    def test_dot_charged_to_dot_kernel(self, part, comm4, rng):
+        x = make(rng.standard_normal((101, 2)), part, comm4)
+        with comm4.tracer.phase("ortho"):
+            blas.block_dot(x, x)
+        assert comm4.tracer.kernel_seconds("ortho", "dot") > 0
+        assert comm4.tracer.kernel_seconds("ortho", "allreduce") > 0

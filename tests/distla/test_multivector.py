@@ -1,0 +1,76 @@
+"""DistMultiVector: scatter/gather, views, conformality."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distla.multivector import DistMultiVector
+from repro.exceptions import ShapeError
+from repro.parallel.partition import Partition
+
+
+@pytest.fixture
+def part() -> Partition:
+    return Partition(37, 4)  # deliberately non-divisible
+
+
+class TestRoundtrip:
+    def test_from_global_to_global(self, part, comm4, rng):
+        arr = rng.standard_normal((37, 3))
+        mv = DistMultiVector.from_global(arr, part, comm4)
+        np.testing.assert_array_equal(mv.to_global(), arr)
+
+    def test_1d_promoted(self, part, comm4):
+        mv = DistMultiVector.from_global(np.ones(37), part, comm4)
+        assert mv.shape == (37, 1)
+
+    def test_zeros(self, part, comm4):
+        mv = DistMultiVector.zeros(part, comm4, 5)
+        assert mv.shape == (37, 5)
+        assert np.all(mv.to_global() == 0)
+
+    def test_wrong_length_rejected(self, part, comm4):
+        with pytest.raises(ShapeError):
+            DistMultiVector.from_global(np.ones(36), part, comm4)
+
+
+class TestViews:
+    def test_view_aliases_storage(self, part, comm4, rng):
+        arr = rng.standard_normal((37, 4))
+        mv = DistMultiVector.from_global(arr, part, comm4)
+        view = mv.view_cols(slice(1, 3))
+        view.shards[0][...] = 0.0
+        assert np.all(mv.shards[0][:, 1:3] == 0.0)
+
+    def test_int_view_is_single_column(self, part, comm4):
+        mv = DistMultiVector.zeros(part, comm4, 4)
+        assert mv.view_cols(2).n_cols == 1
+
+    def test_copy_is_independent(self, part, comm4, rng):
+        mv = DistMultiVector.from_global(rng.standard_normal((37, 2)),
+                                         part, comm4)
+        cp = mv.copy()
+        cp.shards[0][...] = 99.0
+        assert not np.any(mv.shards[0] == 99.0)
+
+    def test_assign_and_fill(self, part, comm4, rng):
+        a = DistMultiVector.from_global(rng.standard_normal((37, 2)),
+                                        part, comm4)
+        b = DistMultiVector.zeros(part, comm4, 2)
+        b.assign_from(a)
+        np.testing.assert_array_equal(b.to_global(), a.to_global())
+        b.fill(7.0)
+        assert np.all(b.to_global() == 7.0)
+
+    def test_conformality_checks(self, part, comm4):
+        a = DistMultiVector.zeros(part, comm4, 2)
+        b = DistMultiVector.zeros(part, comm4, 3)
+        with pytest.raises(ShapeError):
+            a.assign_from(b)
+
+    def test_shard_shape_validation(self, part, comm4):
+        shards = [np.zeros((part.local_count(r), 2)) for r in range(4)]
+        shards[2] = np.zeros((1, 2))
+        with pytest.raises(ShapeError):
+            DistMultiVector(part, comm4, shards)

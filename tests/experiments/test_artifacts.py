@@ -1,0 +1,140 @@
+"""Experiment modules: structure and qualitative claims at tiny scale."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments import fig6, fig7, fig8, fig9, fig10_12, fig13
+from repro.experiments import table2, table3, table4, ablations
+from repro.experiments.common import ExperimentTable, fmt, resolve_machine, speedup
+
+
+class TestCommon:
+    def test_table_render_and_access(self):
+        t = ExperimentTable("x", "title", headers=["a", "b"])
+        t.add_row(1, 2)
+        t.add_row(3, 4)
+        t.add_note("hello")
+        out = t.render()
+        assert "[x] title" in out and "hello" in out
+        assert t.cell(0, 1) == 2
+        assert t.column(0) == [1, 3]
+
+    def test_resolve_machine(self):
+        assert resolve_machine("summit").ranks_per_node == 6
+        m = resolve_machine("vortex")
+        assert resolve_machine(m) is m
+        with pytest.raises(ConfigurationError):
+            resolve_machine("cray-1")
+
+    def test_fmt_and_speedup(self):
+        assert fmt(0) == "0"
+        assert fmt(123456) == "1.235e+05"
+        assert fmt(1.5) == "1.5"
+        assert speedup(10.0, 5.0) == "2.0x"
+        assert speedup(10.0, 0.0) == "-"
+
+    def test_to_csv_roundtrip(self, tmp_path):
+        import csv
+        t = ExperimentTable("x", "title", headers=["a", "b"])
+        t.add_row(1, "two")
+        t.add_note("a note")
+        path = tmp_path / "out.csv"
+        t.to_csv(path)
+        lines = path.read_text().splitlines()
+        assert lines[0].startswith("# [x] title")
+        assert lines[1] == "# note: a note"
+        rows = list(csv.reader(lines[2:]))
+        assert rows[0] == ["a", "b"]
+        assert rows[1] == ["1", "two"]
+
+
+class TestNumericsFigures:
+    def test_fig6_quick(self):
+        t = fig6.run(n=2000, seeds=2, kappas=[1e2, 1e4])
+        assert len(t.rows) == 2
+        assert float(t.rows[0][2]) < float(t.rows[1][2])
+
+    def test_fig7_quick(self):
+        t = fig7.run(n=2000, seeds=2, kappas=[1e2, 1e4])
+        assert float(t.rows[0][3]) < 1e-13  # err2 O(eps)
+
+    def test_fig8_quick(self):
+        t = fig8.run(n=3000, m=30, bs=15, s=5)
+        assert len(t.rows) == 6  # one per panel
+        assert "O(eps)" in t.notes[0] or "final" in t.notes[0]
+
+    def test_fig9_quick(self):
+        t = fig9.run(run_n=1500, m=20, s=5, bs=20,
+                     matrices=["offshore", "Ga41As41H72"])
+        rows = {r[0]: r for r in t.rows}
+        assert rows["offshore"][1] == "moderate"
+        assert rows["Ga41As41H72"][1] == "hard"
+
+
+class TestPerformanceTables:
+    def test_table2_structure(self):
+        t = table2.run()
+        assert [r[0] for r in t.rows] == table2.CONFIGS
+        ortho = [float(r[3]) for r in t.rows]
+        assert ortho == sorted(ortho, reverse=True)
+
+    def test_table2_measured_iterations_tiny(self):
+        iters = table2.measured_iterations(nx=32, m=30, s=5, tol=1e-4,
+                                           maxiter=4000)
+        assert iters["two_stage_bs5"] % 5 == 0
+
+    def test_table3_speedup_cells(self):
+        t = table3.run(node_counts=[1, 4])
+        assert len(t.rows) == 8
+        gm = [r for r in t.rows if r[1] == "gmres"][0]
+        assert gm[6] == "1.0x"
+
+    def test_fig10_12_fractions_sum(self):
+        t = fig10_12.run("fig11", node_counts=[1, 32])
+        for row in t.rows:
+            dot, upd, other, total = (float(row[i]) for i in (1, 2, 3, 4))
+            # cells are 3-significant-digit strings; compare accordingly
+            assert dot + upd + other == pytest.approx(total, rel=1e-2)
+
+    def test_table4_all_matrices(self):
+        t = table4.run(matrices=["ecology2", "ML_Geer"])
+        assert len(t.rows) == 8
+
+    def test_fig13_ordering(self):
+        t = fig13.run(node_counts=[8])
+        ortho = {r[1]: float(r[3]) for r in t.rows}
+        assert (ortho["gmres"] > ortho["bcgs2"] > ortho["pip2"]
+                > ortho["two_stage"])
+
+
+class TestAblations:
+    def test_a1(self):
+        t = ablations.run_sync_vs_reuse(nodes=4)
+        assert len(t.rows) == 2
+
+    def test_a3_quick(self):
+        t = ablations.run_basis_conditioning(nx=12, s_values=[2, 4])
+        assert len(t.rows) == 2
+        assert float(t.rows[0][1]) < float(t.rows[1][1])
+
+    def test_a4_quick(self):
+        t = ablations.run_step_size_cliff(n=2000, m=30)
+        assert any(r[0] == 5 for r in t.rows)
+
+
+class TestRunner:
+    def test_dispatch_help(self, capsys):
+        from repro.experiments.runner import main
+        assert main([]) == 0
+        assert "table3" in capsys.readouterr().out
+
+    def test_dispatch_unknown(self, capsys):
+        from repro.experiments.runner import main
+        assert main(["bogus"]) == 2
+
+    def test_dispatch_table3(self, capsys):
+        from repro.experiments.runner import main
+        assert main(["table3", "--nodes", "1"]) == 0
+        assert "Strong scaling" in capsys.readouterr().out

@@ -1,0 +1,132 @@
+"""The analytic estimator must match the live simulator per cycle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.estimator import CycleCostEstimator, PrecondShape, ProblemShape
+from repro.krylov.gmres import gmres
+from repro.krylov.simulation import Simulation
+from repro.krylov.sstep_gmres import sstep_gmres
+from repro.matrices.stencil import laplace2d
+from repro.ortho.bcgs import BCGS2Scheme
+from repro.ortho.bcgs_pip import BCGSPIP2Scheme
+from repro.ortho.two_stage import TwoStageScheme
+from repro.parallel.machine import summit
+
+
+NX = 24
+M = 20
+S = 5
+
+
+def live_cycle_times(scheme=None, solver="sstep"):
+    """Run exactly one restart cycle live; return phase seconds."""
+    sim = Simulation(laplace2d(NX), ranks=6, machine=summit())
+    b = sim.ones_solution_rhs()
+    if solver == "sstep":
+        res = sstep_gmres(sim, b, s=S, restart=M, tol=1e-30, maxiter=M,
+                          scheme=scheme)
+    else:
+        res = gmres(sim, b, restart=M, tol=1e-30, maxiter=M)
+    assert res.iterations == M
+    times = dict(res.times)
+    return times
+
+
+def estimator():
+    return CycleCostEstimator(summit(), ranks=6,
+                              shape=ProblemShape.stencil2d(NX, stencil=5),
+                              m=M, s=S)
+
+
+REL = 0.02  # estimator must be within 2% of the live simulator
+
+
+class TestEstimatorMatchesLiveRun:
+    def test_standard_gmres(self):
+        live = live_cycle_times(solver="standard")
+        est = estimator().phase_seconds(estimator().standard_gmres_cycle())
+        for phase in ("spmv", "ortho", "total"):
+            assert est[phase] == pytest.approx(live[phase], rel=REL), phase
+
+    def test_bcgs2(self):
+        live = live_cycle_times(BCGS2Scheme())
+        est = estimator().phase_seconds(estimator().sstep_cycle("bcgs2"))
+        for phase in ("spmv", "ortho", "total"):
+            assert est[phase] == pytest.approx(live[phase], rel=REL), phase
+
+    def test_pip2(self):
+        live = live_cycle_times(BCGSPIP2Scheme())
+        est = estimator().phase_seconds(estimator().sstep_cycle("pip2"))
+        for phase in ("spmv", "ortho", "total"):
+            assert est[phase] == pytest.approx(live[phase], rel=REL), phase
+
+    @pytest.mark.parametrize("bs", [5, 10, 20])
+    def test_two_stage(self, bs):
+        live = live_cycle_times(TwoStageScheme(big_step=bs))
+        est = estimator().phase_seconds(
+            estimator().sstep_cycle("two_stage", bs=bs))
+        for phase in ("spmv", "ortho", "total"):
+            assert est[phase] == pytest.approx(live[phase], rel=REL), phase
+
+
+class TestEstimatorStructure:
+    def test_ortho_ordering_at_scale(self):
+        """At 32 Summit nodes the paper's ordering must hold:
+        CGS2 > BCGS2 > PIP2 > two-stage(bs=m)."""
+        est = CycleCostEstimator(summit(), ranks=192,
+                                 shape=ProblemShape.stencil2d(2000, 9),
+                                 m=60, s=5)
+        cgs2 = est.phase_seconds(est.standard_gmres_cycle())["ortho"]
+        bcgs2 = est.phase_seconds(est.sstep_cycle("bcgs2"))["ortho"]
+        pip2 = est.phase_seconds(est.sstep_cycle("pip2"))["ortho"]
+        two = est.phase_seconds(est.sstep_cycle("two_stage", bs=60))["ortho"]
+        assert cgs2 > bcgs2 > pip2 > two
+
+    def test_two_stage_bs_monotone(self):
+        est = CycleCostEstimator(summit(), ranks=4,
+                                 shape=ProblemShape.stencil2d(2000, 5),
+                                 m=60, s=5)
+        times = [est.phase_seconds(est.sstep_cycle("two_stage", bs=bs))["ortho"]
+                 for bs in (5, 20, 40, 60)]
+        assert all(b < a for a, b in zip(times, times[1:]))
+
+    def test_sync_counts_per_cycle(self):
+        est = estimator()
+        m_over_s = M // S
+        # standard GMRES: 3 reduces/iter + residual norm
+        t = est.standard_gmres_cycle()
+        assert t.sync_count() == 3 * M + 1
+        # pip2: 2 per panel + residual norm
+        t = est.sstep_cycle("pip2")
+        assert t.sync_count() == 2 * m_over_s + 1
+        # bcgs2: 5 per panel after the first (CholQR2 only = 2 for
+        # panel 1) + norm
+        t = est.sstep_cycle("bcgs2")
+        assert t.sync_count() == 5 * (m_over_s - 1) + 2 + 1
+        # two-stage bs=m: 1 per panel + 1 big + norm
+        t = est.sstep_cycle("two_stage", bs=M)
+        assert t.sync_count() == m_over_s + 1 + 1
+
+    def test_precond_adds_phase(self):
+        est = CycleCostEstimator(summit(), ranks=6,
+                                 shape=ProblemShape.stencil2d(NX, 5),
+                                 m=M, s=S, precond=PrecondShape())
+        out = est.phase_seconds(est.sstep_cycle("pip2"))
+        assert out["precond"] > 0
+
+    def test_errors(self):
+        est = estimator()
+        with pytest.raises(ConfigurationError):
+            est.sstep_cycle("two_stage")
+        with pytest.raises(ConfigurationError):
+            est.sstep_cycle("nope")
+        with pytest.raises(ConfigurationError):
+            CycleCostEstimator(summit(), 2, ProblemShape.stencil2d(10), 3, 5)
+
+    def test_irregular_shape_halo_capped(self):
+        sh = ProblemShape.irregular(1000, 50.0, ranks=2)
+        assert sh.halo_cols <= 500

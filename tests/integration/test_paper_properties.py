@@ -1,0 +1,142 @@
+"""End-to-end checks of the paper's headline structural claims.
+
+These run the *live* solvers (not the analytic estimator) and verify the
+synchronization algebra, the convergence equivalences, and the stability
+claims the paper's abstract and Section V promise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse.linalg as spla
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.krylov.gmres import gmres
+from repro.krylov.simulation import Simulation
+from repro.krylov.sstep_gmres import sstep_gmres
+from repro.matrices.stencil import convection_diffusion_2d, laplace2d
+from repro.matrices.synthetic import glued_matrix
+from repro.ortho.analysis import orthogonality_error
+from repro.ortho.base import BlockDriver
+from repro.ortho.bcgs import BCGS2Scheme
+from repro.ortho.bcgs_pip import BCGSPIP2Scheme
+from repro.ortho.two_stage import TwoStageScheme
+from repro.parallel.machine import generic_cpu, summit
+
+
+def one_cycle(scheme, nx=16, ranks=6, m=20, s=5):
+    sim = Simulation(laplace2d(nx), ranks=ranks, machine=summit())
+    b = sim.ones_solution_rhs()
+    res = sstep_gmres(sim, b, s=s, restart=m, tol=1e-30, maxiter=m,
+                      scheme=scheme)
+    return res
+
+
+class TestSynchronizationAlgebra:
+    """Sync counts per cycle match the paper's closed forms (live run)."""
+
+    def test_bcgs2_five_per_panel(self):
+        res = one_cycle(BCGS2Scheme())
+        panels = 20 // 5
+        # 5 per panel after the first (2 for CholQR2-only panel 1)
+        # + 1 initial residual norm
+        assert res.sync_count == 5 * (panels - 1) + 2 + 1
+
+    def test_pip2_two_per_panel(self):
+        res = one_cycle(BCGSPIP2Scheme())
+        panels = 20 // 5
+        assert res.sync_count == 2 * panels + 1
+
+    def test_two_stage_one_per_panel_plus_big(self):
+        res = one_cycle(TwoStageScheme(big_step=20))
+        panels = 20 // 5
+        assert res.sync_count == panels + 1 + 1
+
+    def test_standard_three_per_iteration(self):
+        sim = Simulation(laplace2d(16), ranks=6, machine=summit())
+        b = sim.ones_solution_rhs()
+        res = gmres(sim, b, restart=20, tol=1e-30, maxiter=20)
+        assert res.sync_count == 3 * 20 + 1
+
+
+class TestSolverEquivalences:
+    def test_all_solvers_same_solution(self):
+        a = convection_diffusion_2d(10)
+        xs = []
+        for kind in ("standard", "bcgs2", "pip2", "two"):
+            sim = Simulation(a, ranks=4, machine=generic_cpu())
+            b = sim.ones_solution_rhs()
+            if kind == "standard":
+                res = gmres(sim, b, restart=20, tol=1e-10, maxiter=4000)
+            else:
+                scheme = {"bcgs2": BCGS2Scheme(), "pip2": BCGSPIP2Scheme(),
+                          "two": TwoStageScheme(20)}[kind]
+                res = sstep_gmres(sim, b, s=5, restart=20, tol=1e-10,
+                                  maxiter=4000, scheme=scheme)
+            assert res.converged, kind
+            xs.append(res.x)
+        for x in xs[1:]:
+            np.testing.assert_allclose(x, xs[0], atol=1e-7)
+
+    def test_matches_scipy_solution(self):
+        a = laplace2d(12)
+        sim = Simulation(a, ranks=4, machine=generic_cpu())
+        b = sim.ones_solution_rhs()
+        res = sstep_gmres(sim, b, s=5, restart=30, tol=1e-10, maxiter=4000,
+                          scheme=TwoStageScheme(30))
+        x_ref = spla.spsolve(a.tocsc(), b)
+        np.testing.assert_allclose(res.x, x_ref, atol=1e-6)
+
+    def test_true_vs_estimated_residual_agree(self):
+        a = laplace2d(16)
+        sim = Simulation(a, ranks=4, machine=generic_cpu())
+        b = sim.ones_solution_rhs()
+        res = sstep_gmres(sim, b, s=5, restart=30, tol=1e-8, maxiter=4000,
+                          scheme=BCGSPIP2Scheme())
+        true_rel = np.linalg.norm(b - a @ res.x) / np.linalg.norm(b)
+        # the solver's reported residual comes from the explicit restart
+        # recomputation, so it must match the truth tightly
+        assert true_rel == pytest.approx(res.relative_residual, rel=1e-6)
+
+
+class TestStabilityHeadlines:
+    @settings(max_examples=5, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_two_stage_O_eps_on_random_glued(self, seed):
+        """Property test of Theorem V.1's conclusion across random draws."""
+        g = glued_matrix(800, 5, 8, panel_cond=1e6, growth=2.0,
+                         rng=np.random.default_rng(seed))
+        out = BlockDriver(TwoStageScheme(big_step=20), 5).run(g.matrix)
+        assert orthogonality_error(out.q) < 1e-12
+
+    def test_two_stage_survives_where_conditioning_grows(self):
+        """Paper Fig. 8: prefix kappa crosses 1e9, error stays O(eps)."""
+        g = glued_matrix(3000, 5, 12, panel_cond=1e7, growth=2.0,
+                         rng=np.random.default_rng(88))
+        from repro.ortho.analysis import condition_number
+        assert condition_number(g.matrix) > 1e9
+        out = BlockDriver(TwoStageScheme(big_step=60), 5).run(g.matrix)
+        assert orthogonality_error(out.q) < 1e-12
+
+
+class TestOrthoTimeOrderingLive:
+    def test_full_ordering_on_simulated_summit(self):
+        """The abstract's performance ordering out of live (not analytic)
+        simulation at 2 Summit nodes."""
+        a = laplace2d(24)
+        times = {}
+        for key in ("standard", "bcgs2", "pip2", "two"):
+            sim = Simulation(a, ranks=12, machine=summit())
+            b = sim.ones_solution_rhs()
+            if key == "standard":
+                res = gmres(sim, b, restart=30, tol=1e-30, maxiter=30)
+            else:
+                scheme = {"bcgs2": BCGS2Scheme(), "pip2": BCGSPIP2Scheme(),
+                          "two": TwoStageScheme(30)}[key]
+                res = sstep_gmres(sim, b, s=5, restart=30, tol=1e-30,
+                                  maxiter=30, scheme=scheme)
+            times[key] = res.ortho_time
+        assert (times["standard"] > times["bcgs2"] > times["pip2"]
+                > times["two"])

@@ -1,0 +1,68 @@
+"""Adaptive step-size driver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.krylov.adaptive import adaptive_sstep_gmres
+from repro.krylov.simulation import Simulation
+from repro.krylov.sstep_gmres import sstep_gmres
+from repro.matrices.stencil import laplace2d
+from repro.parallel.machine import generic_cpu
+
+
+def make_sim():
+    return Simulation(laplace2d(40), ranks=4, machine=generic_cpu())
+
+
+class TestAdaptive:
+    def test_large_s_stalls_without_adaptation(self):
+        """s = 15 on this Laplacian: panel kappa ~ 1e16, basis breaks."""
+        sim = make_sim()
+        b = sim.ones_solution_rhs()
+        res = sstep_gmres(sim, b, s=15, restart=30, tol=1e-8, maxiter=8000)
+        assert not res.converged
+        assert res.stalled
+
+    def test_adaptation_recovers(self):
+        sim = make_sim()
+        b = sim.ones_solution_rhs()
+        res = adaptive_sstep_gmres(sim, b, s_max=15, restart=30, tol=1e-8,
+                                   maxiter=12_000)
+        assert res.converged
+        np.testing.assert_allclose(res.x, 1.0, atol=1e-4)
+        # trajectory recorded: started at 15, shrank at least once
+        assert "[s=15->" in res.scheme
+
+    def test_no_shrink_when_stable(self):
+        sim = Simulation(laplace2d(16), ranks=4, machine=generic_cpu())
+        b = sim.ones_solution_rhs()
+        res = adaptive_sstep_gmres(sim, b, s_max=5, restart=30, tol=1e-8,
+                                   maxiter=8000)
+        assert res.converged
+        assert res.scheme.endswith("[s=5]")
+
+    def test_two_stage_factory(self):
+        from repro.ortho.two_stage import TwoStageScheme
+        sim = Simulation(laplace2d(16), ranks=4, machine=generic_cpu())
+        b = sim.ones_solution_rhs()
+        res = adaptive_sstep_gmres(
+            sim, b, s_max=10, restart=30, tol=1e-8, maxiter=8000,
+            scheme_factory=lambda: TwoStageScheme(big_step=30))
+        assert res.converged
+        assert res.solver == "adaptive_sstep_gmres"
+
+    def test_history_merged_monotone_iterations(self):
+        sim = make_sim()
+        b = sim.ones_solution_rhs()
+        res = adaptive_sstep_gmres(sim, b, s_max=15, restart=30, tol=1e-8,
+                                   maxiter=12_000)
+        its, _ = res.history.as_arrays()
+        assert np.all(np.diff(its) >= 0)
+
+    def test_bad_bounds(self):
+        sim = make_sim()
+        with pytest.raises(ConfigurationError):
+            adaptive_sstep_gmres(sim, np.ones(sim.n), s_max=2, s_min=5)

@@ -1,0 +1,88 @@
+"""Krylov basis polynomials and change-of-basis matrices."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.krylov.basis import (
+    ChebyshevBasis,
+    MonomialBasis,
+    NewtonBasis,
+    leja_order,
+)
+
+
+class TestMonomial:
+    def test_coefficients(self):
+        assert MonomialBasis().coefficients(3) == (0.0, 1.0, 0.0)
+
+    def test_change_of_basis_is_shift(self):
+        t = MonomialBasis().change_of_basis(4)
+        expected = np.zeros((5, 4))
+        expected[1:, :] = np.eye(4)
+        np.testing.assert_array_equal(t, expected)
+
+
+class TestNewton:
+    def test_default_is_monomial(self):
+        nb = NewtonBasis()
+        assert nb.coefficients(0) == (0.0, 1.0, 0.0)
+
+    def test_shifts_appear_on_diagonal(self):
+        nb = NewtonBasis(shifts=np.array([2.0, 3.0]))
+        t = nb.change_of_basis(4)
+        assert t[0, 0] == 2.0
+        assert t[1, 1] == 3.0
+        assert t[2, 2] == 2.0  # cyclic reuse
+        assert t[1, 0] == 1.0
+
+    def test_new_cycle_harvests_ritz_values(self):
+        h = np.diag([1.0, 2.0, 3.0])
+        h = np.vstack([h, np.zeros((1, 3))])
+        nb = NewtonBasis()
+        nb.new_cycle(h)
+        assert sorted(nb.shifts) == [1.0, 2.0, 3.0]
+
+    def test_new_cycle_none_is_noop(self):
+        nb = NewtonBasis()
+        nb.new_cycle(None)
+        assert len(nb.shifts) == 0
+
+
+class TestChebyshev:
+    def test_interval_validation(self):
+        with pytest.raises(ConfigurationError):
+            ChebyshevBasis(2.0, 1.0)
+
+    def test_three_term_relation_encoded(self):
+        cb = ChebyshevBasis(1.0, 9.0)
+        t = cb.change_of_basis(3)
+        assert t[0, 0] == 5.0       # center
+        assert t[1, 0] == 4.0       # delta (first step two-term)
+        assert t[1, 1] == 5.0
+        assert t[2, 1] == 2.0       # delta/2
+        assert t[0, 1] == 2.0       # gamma = delta/2
+
+
+class TestLejaOrder:
+    def test_first_point_has_max_modulus(self):
+        pts = np.array([1.0, -5.0, 2.0, 0.5])
+        out = leja_order(pts)
+        assert out[0] == -5.0
+
+    def test_permutation(self, rng):
+        pts = rng.standard_normal(10)
+        out = leja_order(pts)
+        assert sorted(out) == pytest.approx(sorted(pts))
+
+    def test_spreads_consecutive_points(self):
+        pts = np.linspace(0, 1, 8)
+        out = leja_order(pts)
+        # consecutive Leja points should not be adjacent grid points
+        gaps = np.abs(np.diff(out))
+        assert gaps[0] > np.diff(pts)[0]
+
+    def test_empty(self):
+        assert leja_order(np.array([])).size == 0

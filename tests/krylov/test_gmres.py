@@ -1,0 +1,122 @@
+"""Standard GMRES(m) baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.krylov.gmres import gmres
+from repro.krylov.simulation import Simulation
+from repro.matrices.stencil import convection_diffusion_2d, laplace2d
+from repro.parallel.machine import generic_cpu
+from repro.precond.jacobi import JacobiPreconditioner
+
+
+def make_sim(a, ranks=4):
+    return Simulation(a, ranks=ranks, machine=generic_cpu())
+
+
+class TestConvergence:
+    def test_spd_laplacian(self):
+        sim = make_sim(laplace2d(16))
+        b = sim.ones_solution_rhs()
+        res = gmres(sim, b, restart=30, tol=1e-10, maxiter=3000)
+        assert res.converged
+        np.testing.assert_allclose(res.x, 1.0, atol=1e-6)
+
+    def test_nonsymmetric(self):
+        sim = make_sim(convection_diffusion_2d(14))
+        b = sim.ones_solution_rhs()
+        res = gmres(sim, b, restart=25, tol=1e-9, maxiter=3000)
+        assert res.converged
+        np.testing.assert_allclose(res.x, 1.0, atol=1e-5)
+
+    def test_residual_matches_true_residual(self):
+        sim = make_sim(laplace2d(12))
+        a = sim.matrix.to_scipy()
+        b = sim.ones_solution_rhs()
+        res = gmres(sim, b, restart=20, tol=1e-8, maxiter=2000)
+        true_rel = (np.linalg.norm(b - a @ res.x)
+                    / np.linalg.norm(b))
+        assert true_rel <= 2e-8
+
+    def test_zero_rhs_immediate(self):
+        sim = make_sim(laplace2d(8))
+        res = gmres(sim, np.zeros(sim.n), restart=10, tol=1e-8)
+        assert res.converged
+        assert res.iterations == 0
+
+    def test_x0_respected(self):
+        sim = make_sim(laplace2d(10))
+        b = sim.ones_solution_rhs()
+        res = gmres(sim, b, x0=np.ones(sim.n), restart=10, tol=1e-8)
+        assert res.converged
+        assert res.iterations == 0  # x0 is already the solution
+
+    def test_maxiter_cap(self):
+        sim = make_sim(laplace2d(20))
+        b = sim.ones_solution_rhs()
+        res = gmres(sim, b, restart=10, tol=1e-14, maxiter=25)
+        assert not res.converged
+        assert res.iterations <= 25
+
+    def test_history_monotone_within_cycle(self):
+        sim = make_sim(laplace2d(12))
+        b = sim.ones_solution_rhs()
+        res = gmres(sim, b, restart=30, tol=1e-8, maxiter=500)
+        _, r = res.history.as_arrays()
+        # GMRES residual estimates are nonincreasing within a cycle
+        assert np.all(np.diff(r[: min(len(r), 30)]) <= 1e-12)
+
+    def test_mgs_variant(self):
+        sim = make_sim(laplace2d(10))
+        b = sim.ones_solution_rhs()
+        res = gmres(sim, b, restart=15, tol=1e-8, variant="mgs")
+        assert res.converged
+
+    def test_unknown_variant(self):
+        sim = make_sim(laplace2d(8))
+        with pytest.raises(ConfigurationError):
+            gmres(sim, np.ones(sim.n), variant="qr-of-doom")
+
+
+class TestPreconditioned:
+    def test_jacobi_reduces_iterations(self):
+        a = laplace2d(14) + 5.0 * __import__("scipy.sparse", fromlist=["eye"]).eye(14 * 14)
+        sim1 = make_sim(a)
+        sim2 = make_sim(a)
+        b = sim1.ones_solution_rhs()
+        plain = gmres(sim1, b, restart=20, tol=1e-8, maxiter=2000)
+        pc = gmres(sim2, b, restart=20, tol=1e-8, maxiter=2000,
+                   precond=JacobiPreconditioner())
+        assert pc.converged
+        np.testing.assert_allclose(pc.x, 1.0, atol=1e-5)
+        assert pc.iterations <= plain.iterations
+
+    def test_unpreconditioned_residual_norm_reported(self):
+        sim = make_sim(laplace2d(10))
+        b = sim.ones_solution_rhs()
+        res = gmres(sim, b, restart=15, tol=1e-8,
+                    precond=JacobiPreconditioner())
+        a = sim.matrix.to_scipy()
+        true_rel = np.linalg.norm(b - a @ res.x) / np.linalg.norm(b)
+        assert true_rel <= 2e-8
+
+
+class TestAccounting:
+    def test_times_and_syncs_populated(self):
+        sim = make_sim(laplace2d(10))
+        b = sim.ones_solution_rhs()
+        res = gmres(sim, b, restart=15, tol=1e-8)
+        assert res.times["total"] > 0
+        assert res.ortho_time > 0
+        assert res.spmv_time > 0
+        assert res.sync_count >= 3 * res.iterations  # CGS2: 3 per iter
+        assert "dot" in res.ortho_breakdown
+
+    def test_summary_text(self):
+        sim = make_sim(laplace2d(8))
+        res = gmres(sim, sim.ones_solution_rhs(), restart=10, tol=1e-6)
+        assert "gmres" in res.summary()
+        assert res.time_per_iteration() > 0

@@ -1,0 +1,123 @@
+"""Matrix powers kernel: recurrences, phases, preconditioner plumbing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distla.multivector import DistMultiVector
+from repro.exceptions import ConfigurationError
+from repro.krylov.basis import ChebyshevBasis, MonomialBasis, NewtonBasis
+from repro.krylov.mpk import MatrixPowersKernel, PreconditionedOperator
+from repro.krylov.simulation import Simulation
+from repro.matrices.stencil import laplace2d
+from repro.parallel.machine import generic_cpu
+from repro.precond.jacobi import JacobiPreconditioner
+
+
+@pytest.fixture
+def sim() -> Simulation:
+    return Simulation(laplace2d(10), ranks=4, machine=generic_cpu())
+
+
+def start_basis(sim, k, rng):
+    basis = sim.zeros(k)
+    v0 = rng.standard_normal(sim.n)
+    v0 /= np.linalg.norm(v0)
+    basis.view_cols(0).assign_from(sim.vector_from(v0))
+    return basis, v0
+
+
+class TestMonomialChain:
+    def test_generates_powers(self, sim, rng):
+        basis, v0 = start_basis(sim, 5, rng)
+        mpk = MatrixPowersKernel(PreconditionedOperator(sim.matrix))
+        mpk.extend(basis, 1, 5)
+        a = sim.matrix.to_scipy()
+        expect = v0
+        for k in range(1, 5):
+            expect = a @ expect
+            np.testing.assert_allclose(basis.to_global()[:, k], expect,
+                                       rtol=1e-12)
+
+    def test_change_of_basis_identity(self, sim, rng):
+        """A V_{1:c} = V_{1:c+1} T for the generated chain."""
+        basis, _ = start_basis(sim, 6, rng)
+        poly = MonomialBasis()
+        mpk = MatrixPowersKernel(PreconditionedOperator(sim.matrix), poly)
+        mpk.extend(basis, 1, 6)
+        v = basis.to_global()
+        a = sim.matrix.to_scipy()
+        t = poly.change_of_basis(5)
+        np.testing.assert_allclose(a @ v[:, :5], v @ t, rtol=1e-11, atol=1e-12)
+
+    def test_requires_start_column(self, sim, rng):
+        basis, _ = start_basis(sim, 4, rng)
+        mpk = MatrixPowersKernel(PreconditionedOperator(sim.matrix))
+        with pytest.raises(ConfigurationError):
+            mpk.extend(basis, 0, 4)
+
+
+class TestPolynomialBases:
+    def test_newton_recurrence_identity(self, sim, rng):
+        basis, _ = start_basis(sim, 6, rng)
+        poly = NewtonBasis(shifts=np.array([0.5, 1.5, 2.5, 3.5, 4.5]))
+        mpk = MatrixPowersKernel(PreconditionedOperator(sim.matrix), poly)
+        mpk.extend(basis, 1, 6)
+        v = basis.to_global()
+        a = sim.matrix.to_scipy()
+        t = poly.change_of_basis(5)
+        np.testing.assert_allclose(a @ v[:, :5], v @ t, rtol=1e-10, atol=1e-11)
+
+    def test_chebyshev_recurrence_identity(self, sim, rng):
+        basis, _ = start_basis(sim, 6, rng)
+        poly = ChebyshevBasis(0.1, 8.0)
+        mpk = MatrixPowersKernel(PreconditionedOperator(sim.matrix), poly)
+        mpk.extend(basis, 1, 6)
+        v = basis.to_global()
+        a = sim.matrix.to_scipy()
+        t = poly.change_of_basis(5)
+        np.testing.assert_allclose(a @ v[:, :5], v @ t, rtol=1e-10, atol=1e-11)
+
+    def test_chebyshev_bounds_growth(self, sim, rng):
+        """Chebyshev-scaled vectors grow far slower than monomial ones."""
+        basis_m, _ = start_basis(sim, 9, rng)
+        MatrixPowersKernel(PreconditionedOperator(sim.matrix),
+                           MonomialBasis()).extend(basis_m, 1, 9)
+        basis_c, _ = start_basis(sim, 9, rng)
+        MatrixPowersKernel(PreconditionedOperator(sim.matrix),
+                           ChebyshevBasis(0.05, 8.0)).extend(basis_c, 1, 9)
+        norm_m = np.linalg.norm(basis_m.to_global()[:, 8])
+        norm_c = np.linalg.norm(basis_c.to_global()[:, 8])
+        assert norm_c < norm_m / 10
+
+
+class TestPreconditionedOperator:
+    def test_right_preconditioning(self, sim, rng):
+        pc = JacobiPreconditioner().setup(sim.matrix)
+        op = PreconditionedOperator(sim.matrix, pc)
+        x = rng.standard_normal(sim.n)
+        dx = sim.vector_from(x)
+        out = sim.zeros(1)
+        op.apply(dx, out)
+        a = sim.matrix.to_scipy()
+        expected = a @ (x / a.diagonal())
+        np.testing.assert_allclose(out.to_global()[:, 0], expected,
+                                   rtol=1e-12)
+
+    def test_phase_attribution(self, sim, rng):
+        pc = JacobiPreconditioner().setup(sim.matrix)
+        op = PreconditionedOperator(sim.matrix, pc)
+        dx = sim.vector_from(rng.standard_normal(sim.n))
+        out = sim.zeros(1)
+        op.apply(dx, out)
+        assert sim.tracer.phase_seconds("precond") > 0
+        assert sim.tracer.phase_seconds("spmv") > 0
+
+    def test_apply_inverse_precond_identity(self, sim, rng):
+        op = PreconditionedOperator(sim.matrix)
+        x = sim.vector_from(rng.standard_normal(sim.n))
+        out = sim.zeros(1)
+        op.apply_inverse_precond(x, out)
+        np.testing.assert_array_equal(out.to_global(), x.to_global())
+        assert not op.is_preconditioned

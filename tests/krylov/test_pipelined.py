@@ -1,0 +1,83 @@
+"""Pipelined GMRES with DCGS-2 (ref. [25] family)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.krylov.gmres import gmres
+from repro.krylov.pipelined import pipelined_gmres
+from repro.krylov.simulation import Simulation
+from repro.matrices.stencil import convection_diffusion_2d, laplace2d
+from repro.parallel.machine import generic_cpu, summit
+from repro.precond.jacobi import JacobiPreconditioner
+
+
+def make_sim(a, ranks=4, machine=None):
+    return Simulation(a, ranks=ranks,
+                      machine=machine if machine else generic_cpu())
+
+
+class TestConvergence:
+    def test_spd(self):
+        sim = make_sim(laplace2d(16))
+        b = sim.ones_solution_rhs()
+        res = pipelined_gmres(sim, b, restart=30, tol=1e-9, maxiter=4000)
+        assert res.converged
+        np.testing.assert_allclose(res.x, 1.0, atol=1e-5)
+        a = sim.matrix.to_scipy()
+        true_rel = np.linalg.norm(b - a @ res.x) / np.linalg.norm(b)
+        assert true_rel <= 2e-9
+
+    def test_nonsymmetric(self):
+        sim = make_sim(convection_diffusion_2d(12))
+        b = sim.ones_solution_rhs()
+        res = pipelined_gmres(sim, b, restart=25, tol=1e-8, maxiter=4000)
+        assert res.converged
+
+    def test_matches_standard_gmres_solution(self):
+        a = laplace2d(14)
+        sim1, sim2 = make_sim(a), make_sim(a)
+        b = sim1.ones_solution_rhs()
+        std = gmres(sim1, b, restart=25, tol=1e-10, maxiter=4000)
+        pipe = pipelined_gmres(sim2, b, restart=25, tol=1e-10, maxiter=4000)
+        np.testing.assert_allclose(pipe.x, std.x, atol=1e-7)
+
+    def test_zero_rhs(self):
+        sim = make_sim(laplace2d(8))
+        res = pipelined_gmres(sim, np.zeros(sim.n), restart=10)
+        assert res.converged and res.iterations == 0
+
+    def test_preconditioned(self):
+        sim = make_sim(laplace2d(14))
+        b = sim.ones_solution_rhs()
+        res = pipelined_gmres(sim, b, restart=25, tol=1e-8, maxiter=4000,
+                              precond=JacobiPreconditioner())
+        assert res.converged
+
+    def test_maxiter_cap(self):
+        sim = make_sim(laplace2d(20))
+        b = sim.ones_solution_rhs()
+        res = pipelined_gmres(sim, b, restart=20, tol=1e-14, maxiter=30)
+        assert not res.converged
+        assert res.iterations <= 30
+
+
+class TestSynchronization:
+    def test_one_reduce_per_iteration(self):
+        sim = make_sim(laplace2d(16), ranks=6, machine=summit())
+        b = sim.ones_solution_rhs()
+        res = pipelined_gmres(sim, b, restart=20, tol=1e-30, maxiter=20)
+        # per cycle: 1 residual norm + start + 20 pushes + flush = 23
+        assert res.iterations == 20
+        assert res.sync_count == 23
+
+    def test_fewer_syncs_and_less_ortho_than_cgs2(self):
+        a = laplace2d(20)
+        sim1 = make_sim(a, ranks=12, machine=summit())
+        sim2 = make_sim(a, ranks=12, machine=summit())
+        b = sim1.ones_solution_rhs()
+        std = gmres(sim1, b, restart=30, tol=1e-30, maxiter=30)
+        pipe = pipelined_gmres(sim2, b, restart=30, tol=1e-30, maxiter=30)
+        assert pipe.sync_count < std.sync_count / 2
+        assert pipe.ortho_time < std.ortho_time

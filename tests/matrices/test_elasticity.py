@@ -1,0 +1,42 @@
+"""3-D elasticity generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse.linalg as spla
+
+from repro.matrices.elasticity import elasticity3d
+
+
+class TestElasticity3D:
+    def test_shape_is_three_dofs_per_node(self):
+        a = elasticity3d(4)
+        assert a.shape == (3 * 64, 3 * 64)
+
+    def test_symmetric(self):
+        a = elasticity3d(3)
+        assert abs(a - a.T).max() < 1e-14
+
+    def test_positive_definite(self):
+        a = elasticity3d(3)
+        lmin = spla.eigsh(a.astype(float), k=1, which="SA",
+                          return_eigenvectors=False)[0]
+        assert lmin > 0
+
+    def test_components_coupled(self):
+        # the grad-div term must produce nonzeros between displacement
+        # components (off-diagonal blocks)
+        a = elasticity3d(3).tocsr()
+        n = 27
+        block_xy = a[:n, n:2 * n]
+        assert block_xy.nnz > 0
+
+    def test_lame_zero_coupling_vanishes(self):
+        # with lam = -mu the grad-div coefficient is zero -> block diagonal
+        a = elasticity3d(3, lam=-1.0, mu=1.0).tocsr()
+        n = 27
+        assert a[:n, n:2 * n].nnz == 0
+
+    def test_rectangular_grid(self):
+        a = elasticity3d(2, 3, 4)
+        assert a.shape == (3 * 24, 3 * 24)

@@ -1,0 +1,70 @@
+"""MatrixMarket I/O round-trips."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import ConfigurationError
+from repro.matrices.io import read_matrix_market, write_matrix_market
+
+
+class TestRoundtrip:
+    def test_general(self, rng, tmp_path):
+        a = sp.random(20, 20, density=0.2, random_state=3, format="csr")
+        path = tmp_path / "a.mtx"
+        write_matrix_market(a, path)
+        b = read_matrix_market(path)
+        assert (abs(a - b) > 1e-15).nnz == 0
+
+    def test_exact_values(self, tmp_path):
+        a = sp.csr_matrix(np.array([[1.5, 0.0], [-2.25e-300, 3.0]]))
+        path = tmp_path / "b.mtx"
+        write_matrix_market(a, path)
+        b = read_matrix_market(path)
+        np.testing.assert_array_equal(a.toarray(), b.toarray())
+
+    def test_symmetric_storage_expanded(self):
+        text = """%%MatrixMarket matrix coordinate real symmetric
+% comment
+3 3 4
+1 1 2.0
+2 1 -1.0
+2 2 2.0
+3 3 1.0
+"""
+        a = read_matrix_market(io.StringIO(text))
+        dense = a.toarray()
+        assert dense[0, 1] == -1.0 and dense[1, 0] == -1.0
+        assert dense[0, 0] == 2.0
+
+    def test_comments_preserved_on_write(self, tmp_path):
+        a = sp.eye(3, format="csr")
+        path = tmp_path / "c.mtx"
+        write_matrix_market(a, path, comment="hello\nworld")
+        content = path.read_text()
+        assert "% hello" in content and "% world" in content
+
+
+class TestErrors:
+    def test_bad_header(self):
+        with pytest.raises(ConfigurationError):
+            read_matrix_market(io.StringIO("%%NotMatrixMarket foo\n1 1 0\n"))
+
+    def test_unsupported_storage(self):
+        with pytest.raises(ConfigurationError):
+            read_matrix_market(io.StringIO(
+                "%%MatrixMarket matrix coordinate real hermitian\n1 1 0\n"))
+
+    def test_bad_size_line(self):
+        with pytest.raises(ConfigurationError):
+            read_matrix_market(io.StringIO(
+                "%%MatrixMarket matrix coordinate real general\n1 1\n"))
+
+    def test_truncated_entries(self):
+        text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n"
+        with pytest.raises(ConfigurationError):
+            read_matrix_market(io.StringIO(text))

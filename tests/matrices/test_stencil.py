@@ -1,0 +1,106 @@
+"""Model-problem generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.exceptions import ConfigurationError
+from repro.matrices.stencil import convection_diffusion_2d, laplace2d, laplace3d
+
+
+class TestLaplace2D:
+    def test_shape_and_symmetry(self):
+        a = laplace2d(10)
+        assert a.shape == (100, 100)
+        assert (a != a.T).nnz == 0
+
+    def test_interior_row_structure_5pt(self):
+        a = laplace2d(5).tocsr()
+        mid = 12  # center of 5x5 grid
+        row = a[mid].toarray().ravel()
+        assert row[mid] == 4.0
+        assert np.sum(row == -1.0) == 4
+
+    def test_positive_definite(self):
+        a = laplace2d(8)
+        lmin = spla.eigsh(a.astype(float), k=1, which="SA",
+                          return_eigenvectors=False)[0]
+        assert lmin > 0
+
+    def test_known_extreme_eigenvalue(self):
+        # lambda_min = 4 sin^2(pi/(2(n+1))) * 2 for the 2D 5-point stencil
+        n = 9
+        a = laplace2d(n)
+        h = np.pi / (2 * (n + 1))
+        expected = 2 * 4 * np.sin(h) ** 2
+        lmin = spla.eigsh(a.astype(float), k=1, which="SA",
+                          return_eigenvectors=False)[0]
+        assert lmin == pytest.approx(expected, rel=1e-8)
+
+    def test_9pt_structure(self):
+        a = laplace2d(5, stencil=9).tocsr()
+        mid = 12
+        row = a[mid].toarray().ravel()
+        # compact 9-point: 8 off-diagonal neighbours
+        assert np.count_nonzero(row) == 9
+        assert (a != a.T).nnz == 0
+
+    def test_9pt_positive_definite(self):
+        a = laplace2d(8, stencil=9)
+        lmin = spla.eigsh(a.astype(float), k=1, which="SA",
+                          return_eigenvectors=False)[0]
+        assert lmin > 0
+
+    def test_rectangular(self):
+        a = laplace2d(4, 6)
+        assert a.shape == (24, 24)
+
+    def test_bad_stencil(self):
+        with pytest.raises(ConfigurationError):
+            laplace2d(4, stencil=7)
+
+
+class TestLaplace3D:
+    def test_shape_and_nnz_per_row(self):
+        a = laplace3d(10)
+        assert a.shape == (1000, 1000)
+        # paper Table IV: nnz/n = 6.9 for n = 100^3; boundary effect is
+        # stronger at 10^3 but the interior stencil is 7-wide
+        assert 6.0 < a.nnz / a.shape[0] <= 7.0
+
+    def test_symmetric_positive_definite(self):
+        a = laplace3d(4)
+        assert (a != a.T).nnz == 0
+        lmin = spla.eigsh(a.astype(float), k=1, which="SA",
+                          return_eigenvectors=False)[0]
+        assert lmin > 0
+
+    def test_interior_row(self):
+        a = laplace3d(5).tocsr()
+        mid = 2 * 25 + 2 * 5 + 2
+        row = a[mid].toarray().ravel()
+        assert row[mid] == 6.0
+        assert np.sum(row == -1.0) == 6
+
+
+class TestConvectionDiffusion:
+    def test_nonsymmetric(self):
+        a = convection_diffusion_2d(8)
+        assert (a != a.T).nnz > 0
+
+    def test_row_sums_nonnegative(self):
+        # upwinding keeps the operator an M-matrix-like discretization
+        a = convection_diffusion_2d(8)
+        assert np.all(np.asarray(a.sum(axis=1)).ravel() > -1e-10)
+
+    def test_negative_wind_branch(self):
+        a = convection_diffusion_2d(8, wind=(-1.0, -0.5))
+        assert (a != a.T).nnz > 0
+
+    def test_solvable(self):
+        a = convection_diffusion_2d(10)
+        x = spla.spsolve(a.tocsc(), np.ones(100))
+        assert np.all(np.isfinite(x))

@@ -1,0 +1,71 @@
+"""Synthetic conditioning-controlled matrices (Section VI inputs)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.matrices.synthetic import GluedMatrix, glued_matrix, logscaled_matrix
+
+
+class TestLogscaled:
+    @pytest.mark.parametrize("cond", [1e2, 1e6, 1e10])
+    def test_condition_prescribed_exactly(self, cond, rng):
+        v = logscaled_matrix(500, 5, cond, rng)
+        s = np.linalg.svd(v, compute_uv=False)
+        # computed sigma_min carries a relative error ~ eps * kappa
+        tol = max(1e-8, 100 * cond * np.finfo(float).eps)
+        assert s[0] / s[-1] == pytest.approx(cond, rel=tol)
+
+    def test_shape(self, rng):
+        assert logscaled_matrix(100, 7, 10.0, rng).shape == (100, 7)
+
+    def test_reproducible_with_seed(self):
+        a = logscaled_matrix(50, 3, 100.0, np.random.default_rng(5))
+        b = logscaled_matrix(50, 3, 100.0, np.random.default_rng(5))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestGlued:
+    def test_panel_conditions(self, rng):
+        g = glued_matrix(400, 5, 6, panel_cond=1e4, growth=2.0, rng=rng)
+        for j in range(6):
+            s = np.linalg.svd(g.panel(j), compute_uv=False)
+            assert s[0] / s[-1] == pytest.approx(1e4, rel=1e-6)
+
+    def test_prefix_condition_growth(self, rng):
+        g = glued_matrix(400, 5, 6, panel_cond=1e3, growth=2.0, rng=rng)
+        for j in range(6):
+            s = np.linalg.svd(g.prefix(j), compute_uv=False)
+            kappa = s[0] / s[-1]
+            assert kappa == pytest.approx(g.expected_prefix_cond(j), rel=1e-6)
+
+    def test_growth_one_keeps_global_cond(self, rng):
+        g = glued_matrix(300, 4, 5, panel_cond=1e5, growth=1.0, rng=rng)
+        s = np.linalg.svd(g.matrix, compute_uv=False)
+        assert s[0] / s[-1] == pytest.approx(1e5, rel=1e-6)
+
+    @given(st.integers(min_value=1, max_value=4),
+           st.integers(min_value=1, max_value=5))
+    @settings(max_examples=10, deadline=None)
+    def test_shapes(self, width, panels):
+        g = glued_matrix(200, width, panels, panel_cond=10.0,
+                         rng=np.random.default_rng(0))
+        assert g.matrix.shape == (200, width * panels)
+        assert isinstance(g, GluedMatrix)
+
+    def test_too_many_columns_rejected(self):
+        with pytest.raises(ConfigurationError):
+            glued_matrix(10, 5, 4, panel_cond=10.0)
+
+    def test_bad_growth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            glued_matrix(100, 2, 2, panel_cond=10.0, growth=0.5)
+
+    def test_panel_index_bounds(self, rng):
+        g = glued_matrix(100, 2, 3, panel_cond=10.0, rng=rng)
+        with pytest.raises(ConfigurationError):
+            g.panel(3)

@@ -1,0 +1,68 @@
+"""Diagnostics helpers and stability-condition constants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import EPS
+from repro.ortho.analysis import (
+    c1_bound,
+    cholqr_condition_limit,
+    condition_number,
+    gram_condition_ok,
+    orthogonality_error,
+    representation_error,
+)
+from repro.utils.rng import haar_orthonormal, random_with_condition
+
+
+class TestOrthogonalityError:
+    def test_exact_orthonormal(self, rng):
+        q = haar_orthonormal(100, 5, rng)
+        assert orthogonality_error(q) < 50 * EPS
+
+    def test_scaled_column_detected(self, rng):
+        q = haar_orthonormal(100, 5, rng)
+        q[:, 0] *= 2.0
+        assert orthogonality_error(q) == pytest.approx(3.0, rel=1e-10)
+
+
+class TestConditionNumber:
+    def test_prescribed(self, rng):
+        v = random_with_condition(200, 4, 1e6, rng)
+        assert condition_number(v) == pytest.approx(1e6, rel=1e-6)
+
+    def test_rank_deficient_inf(self):
+        v = np.zeros((10, 2))
+        v[:, 0] = 1.0  # second column exactly zero => sigma_min == 0
+        assert condition_number(v) == np.inf
+
+
+class TestRepresentationError:
+    def test_exact_factorization(self, rng):
+        v = rng.standard_normal((50, 4))
+        q, r = np.linalg.qr(v)
+        assert representation_error(v, q, r) < 50 * EPS
+
+    def test_zero_matrix(self):
+        z = np.zeros((5, 2))
+        assert representation_error(z, z, np.zeros((2, 2))) == 0.0
+
+
+class TestStabilityConstants:
+    def test_c1_formula(self):
+        # eq. (3): c1 = 5 (n s + s (s+1)) eps
+        assert c1_bound(1000, 5) == pytest.approx(
+            5 * (1000 * 5 + 5 * 6) * EPS)
+
+    def test_condition_limit_order_of_magnitude(self):
+        # for n ~ 1e5, s = 5: limit ~ sqrt(0.5 / (25e5 * 5 * eps)) ~ 2e4
+        lim = cholqr_condition_limit(100000, 5)
+        assert 1e3 < lim < 1e7
+
+    def test_gram_condition_ok(self, rng):
+        good = random_with_condition(1000, 5, 1e2, rng)
+        bad = random_with_condition(1000, 5, 1e12, rng)
+        assert gram_condition_ok(good)
+        assert not gram_condition_ok(bad)

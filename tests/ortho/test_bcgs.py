@@ -1,0 +1,85 @@
+"""BCGS / BCGS2 inter-block orthogonalization (paper Fig. 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import EPS
+from repro.exceptions import ConfigurationError
+from repro.matrices.synthetic import glued_matrix, logscaled_matrix
+from repro.ortho.analysis import orthogonality_error, representation_error
+from repro.ortho.backend import NumpyBackend
+from repro.ortho.base import BlockDriver
+from repro.ortho.bcgs import BCGS2Scheme, bcgs_project
+from repro.ortho.cholqr import CholQR2
+from repro.ortho.hhqr import HouseholderQR
+
+
+@pytest.fixture
+def nb():
+    return NumpyBackend()
+
+
+class TestBCGSProject:
+    def test_projects_out_prefix(self, nb, rng):
+        q, _ = np.linalg.qr(rng.standard_normal((100, 6)))
+        v = rng.standard_normal((100, 3))
+        r = bcgs_project(nb, q, v)
+        assert np.linalg.norm(q.T @ v, 2) < 1e-12
+        assert r.shape == (6, 3)
+
+
+class TestBCGS2Scheme:
+    @pytest.mark.parametrize("intra", [CholQR2(), HouseholderQR()])
+    def test_full_matrix_orthogonalized(self, nb, rng, intra):
+        v = logscaled_matrix(300, 20, 1e5, rng)
+        driver = BlockDriver(BCGS2Scheme(intra_first=intra), panel_width=5)
+        out = driver.run(v)
+        assert orthogonality_error(out.q) < 100 * EPS
+        assert representation_error(v, out.q, out.r) < 1e-13
+
+    def test_glued_matrix_stability(self, nb, rng):
+        g = glued_matrix(500, 5, 8, panel_cond=1e6, growth=1.0, rng=rng)
+        out = BlockDriver(BCGS2Scheme(), panel_width=5).run(g.matrix)
+        assert orthogonality_error(out.q) < 1000 * EPS
+
+    def test_r_upper_triangular(self, nb, rng):
+        v = logscaled_matrix(200, 12, 1e3, rng)
+        out = BlockDriver(BCGS2Scheme(), panel_width=4).run(v)
+        np.testing.assert_allclose(out.r, np.triu(out.r), atol=1e-14)
+
+    def test_out_of_order_panel_rejected(self, nb, rng):
+        scheme = BCGS2Scheme()
+        basis = rng.standard_normal((50, 8))
+        r = np.zeros((8, 8))
+        scheme.begin_cycle(nb, basis, r)
+        scheme.panel_arrived(0, 4)
+        with pytest.raises(ConfigurationError):
+            scheme.panel_arrived(6, 8)
+
+    def test_five_syncs_per_panel_distributed(self, comm4, rng):
+        from repro.distla.multivector import DistMultiVector
+        from repro.ortho.backend import DistBackend
+        from repro.parallel.partition import Partition
+        part = Partition(200, 4)
+        v = logscaled_matrix(200, 10, 1e3, rng)
+        dv = DistMultiVector.from_global(v, part, comm4)
+        db = DistBackend(comm4)
+        scheme = BCGS2Scheme()
+        r = np.zeros((10, 10))
+        scheme.begin_cycle(db, dv, r)
+        scheme.panel_arrived(0, 5)        # first panel: CholQR2 only
+        before = comm4.tracer.sync_count()
+        scheme.panel_arrived(5, 10)       # full BCGS2: 5 reduces
+        assert comm4.tracer.sync_count() - before == 5
+
+    def test_driver_result_counts(self, nb, rng):
+        v = rng.standard_normal((100, 9))
+        out = BlockDriver(BCGS2Scheme(), panel_width=3).run(v)
+        assert out.panels == 3
+
+    def test_driver_rejects_misaligned(self, nb, rng):
+        v = rng.standard_normal((60, 7))
+        with pytest.raises(ConfigurationError):
+            BlockDriver(BCGS2Scheme(), panel_width=3).run(v)

@@ -1,0 +1,136 @@
+"""BCGS-PIP / BCGS-PIP2 (paper Fig. 4, Theorems IV.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import EPS
+from repro.exceptions import CholeskyBreakdownError
+from repro.matrices.synthetic import glued_matrix, logscaled_matrix
+from repro.ortho.analysis import condition_number, orthogonality_error, representation_error
+from repro.ortho.backend import NumpyBackend
+from repro.ortho.base import BlockDriver
+from repro.ortho.bcgs_pip import BCGSPIP2Scheme, BCGSPIPScheme, bcgs_pip_panel
+from repro.ortho.cholqr import CholQR2
+
+
+@pytest.fixture
+def nb():
+    return NumpyBackend()
+
+
+class TestSinglePass:
+    def test_no_prefix_equals_cholqr(self, nb, rng):
+        v = rng.standard_normal((100, 5))
+        a = v.copy()
+        p, r1 = bcgs_pip_panel(nb, a, 0, 0, 5)
+        assert p is None
+        b = v.copy()
+        from repro.ortho.cholqr import CholQR
+        r2 = CholQR().factor(nb, b)
+        np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(r1, r2)
+
+    def test_pythagorean_identity_correctness(self, nb, rng):
+        q, _ = np.linalg.qr(rng.standard_normal((200, 6)))
+        w = rng.standard_normal((200, 3))
+        basis = np.concatenate([q, w], axis=1)
+        p, r_jj = bcgs_pip_panel(nb, basis, 6, 6, 9)
+        # after the pass, panel orthonormal and orthogonal to prefix
+        panel = basis[:, 6:9]
+        assert orthogonality_error(panel) < 1e-10
+        assert np.linalg.norm(q.T @ panel, 2) < 1e-10
+        # factorization property: W = Q P + panel R
+        np.testing.assert_allclose(q @ p + panel @ r_jj, w,
+                                   rtol=1e-10, atol=1e-11)
+
+    def test_single_reduce_distributed(self, comm4, rng):
+        from repro.distla.multivector import DistMultiVector
+        from repro.ortho.backend import DistBackend
+        from repro.parallel.partition import Partition
+        part = Partition(200, 4)
+        db = DistBackend(comm4)
+        basis = DistMultiVector.from_global(rng.standard_normal((200, 9)),
+                                            part, comm4)
+        bcgs_pip_panel(db, basis, 0, 0, 5)
+        before = comm4.tracer.sync_count()
+        bcgs_pip_panel(db, basis, 5, 5, 9)
+        assert comm4.tracer.sync_count() - before == 1  # THE single reduce
+
+    def test_error_grows_with_kappa_squared(self, nb, rng):
+        errs = []
+        for cond in [1e2, 1e4]:
+            v = logscaled_matrix(1000, 10, cond, rng)
+            out = BlockDriver(BCGSPIPScheme(), panel_width=5).run(v)
+            errs.append(orthogonality_error(out.q))
+        assert errs[1] / errs[0] > 1e2  # the (6) bound shape
+
+    def test_breakdown_policy_shift(self, nb, rng):
+        v = logscaled_matrix(500, 5, 1e10, rng)  # beyond the PIP cliff
+        with pytest.raises(CholeskyBreakdownError):
+            BlockDriver(BCGSPIPScheme(breakdown="raise"),
+                        panel_width=5).run(v)
+        out = BlockDriver(BCGSPIPScheme(breakdown="shift"),
+                          panel_width=5).run(v)
+        assert np.isfinite(out.q).all()
+
+
+class TestPIP2:
+    def test_machine_precision_under_condition5(self, nb, rng):
+        # Theorem IV.2: O(eps) when kappa([Q, V]) < ~eps^{-1/2}
+        g = glued_matrix(800, 5, 8, panel_cond=1e6, growth=1.0, rng=rng)
+        out = BlockDriver(BCGSPIP2Scheme(), panel_width=5).run(g.matrix)
+        assert orthogonality_error(out.q) < 1000 * EPS
+        assert representation_error(g.matrix, out.q, out.r) < 1e-12
+
+    def test_accumulated_condition_O1(self, nb, rng):
+        # (7): after BCGS-PIP the accumulated basis has kappa = O(1)
+        g = glued_matrix(600, 5, 6, panel_cond=1e5, growth=1.0, rng=rng)
+        out = BlockDriver(BCGSPIP2Scheme(), panel_width=5).run(g.matrix)
+        assert condition_number(out.q) < 1.0 + 1e-10
+
+    def test_equals_cholqr2_for_first_panel(self, nb, rng):
+        # paper: "when there are no previous blocks, BCGS-PIP2 is CholQR2"
+        v = rng.standard_normal((150, 5))
+        a = v.copy()
+        r_a = np.zeros((5, 5))
+        scheme = BCGSPIP2Scheme()
+        scheme.begin_cycle(nb, a, r_a)
+        scheme.panel_arrived(0, 5)
+        b = v.copy()
+        r_b = CholQR2().factor(nb, b)
+        np.testing.assert_array_equal(a, b)
+        np.testing.assert_allclose(np.triu(r_a), r_b, rtol=1e-15)
+
+    def test_two_syncs_per_panel(self, comm4, rng):
+        from repro.distla.multivector import DistMultiVector
+        from repro.ortho.backend import DistBackend
+        from repro.parallel.partition import Partition
+        part = Partition(200, 4)
+        db = DistBackend(comm4)
+        basis = DistMultiVector.from_global(rng.standard_normal((200, 10)),
+                                            part, comm4)
+        r = np.zeros((10, 10))
+        scheme = BCGSPIP2Scheme()
+        scheme.begin_cycle(db, basis, r)
+        scheme.panel_arrived(0, 5)
+        before = comm4.tracer.sync_count()
+        scheme.panel_arrived(5, 10)
+        assert comm4.tracer.sync_count() - before == 2
+
+    def test_finality_every_panel(self, nb, rng):
+        scheme = BCGSPIP2Scheme()
+        basis = rng.standard_normal((100, 10))
+        r = np.zeros((10, 10))
+        scheme.begin_cycle(nb, basis, r)
+        assert scheme.panel_arrived(0, 5) is True
+        assert scheme.final_cols == 5
+
+    def test_matches_bcgs2_error_level(self, nb, rng):
+        v = logscaled_matrix(400, 20, 1e4, rng)
+        from repro.ortho.bcgs import BCGS2Scheme
+        q_pip = BlockDriver(BCGSPIP2Scheme(), panel_width=5).run(v).q
+        q_b2 = BlockDriver(BCGS2Scheme(), panel_width=5).run(v).q
+        assert orthogonality_error(q_pip) < 1000 * EPS
+        assert orthogonality_error(q_b2) < 1000 * EPS

@@ -1,0 +1,119 @@
+"""Column-wise CGS2 / MGS appends (standard GMRES building block)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import EPS
+from repro.exceptions import NumericalError
+from repro.ortho.backend import NumpyBackend
+from repro.ortho.cgs import cgs2_append, mgs_append, normalize_column
+
+
+@pytest.fixture
+def nb():
+    return NumpyBackend()
+
+
+def build_basis(nb, append, n=80, k=8, rng=None):
+    rng = rng or np.random.default_rng(3)
+    basis = np.zeros((n, k))
+    raw = rng.standard_normal((n, k))
+    basis[:, 0] = raw[:, 0]
+    coeffs = [append(nb, basis, 0)]
+    for j in range(1, k):
+        basis[:, j] = raw[:, j]
+        coeffs.append(append(nb, basis, j))
+    return basis, coeffs, raw
+
+
+class TestCGS2:
+    def test_orthonormal(self, nb):
+        basis, _, _ = build_basis(nb, cgs2_append)
+        err = np.linalg.norm(np.eye(8) - basis.T @ basis, 2)
+        assert err < 100 * EPS
+
+    def test_coefficients_reconstruct(self, nb):
+        basis, coeffs, raw = build_basis(nb, cgs2_append)
+        # column j of raw = sum_i h[i] q_i with h from the append
+        for j in range(1, 8):
+            h = coeffs[j]
+            recon = basis[:, : j + 1] @ h
+            np.testing.assert_allclose(recon, raw[:, j], rtol=1e-10,
+                                       atol=1e-12)
+
+    def test_first_column_norm_returned(self, nb, rng):
+        basis = rng.standard_normal((50, 2))
+        expected = np.linalg.norm(basis[:, 0])
+        h = cgs2_append(nb, basis, 0)
+        assert h[0] == pytest.approx(expected)
+        assert np.linalg.norm(basis[:, 0]) == pytest.approx(1.0)
+
+    def test_dependent_column_collapses_norm(self, nb, rng):
+        # a numerically dependent column projects to roundoff level: the
+        # Arnoldi subdiagonal entry h[j] becomes ~eps * ||input||
+        basis = np.zeros((50, 2))
+        basis[:, 0] = rng.standard_normal(50)
+        cgs2_append(nb, basis, 0)
+        basis[:, 1] = basis[:, 0]
+        h = cgs2_append(nb, basis, 1)
+        assert h[1] < 1e-14  # input had unit norm
+
+    def test_exact_zero_column_raises(self, nb, rng):
+        basis = np.zeros((50, 2))
+        basis[:, 0] = rng.standard_normal(50)
+        cgs2_append(nb, basis, 0)
+        basis[:, 1] = 0.0
+        with pytest.raises(NumericalError):
+            cgs2_append(nb, basis, 1)
+
+
+class TestMGS:
+    def test_orthonormal(self, nb):
+        basis, _, _ = build_basis(nb, mgs_append)
+        err = np.linalg.norm(np.eye(8) - basis.T @ basis, 2)
+        assert err < 1e-12
+
+    def test_coefficients_reconstruct(self, nb):
+        basis, coeffs, raw = build_basis(nb, mgs_append)
+        for j in range(1, 8):
+            recon = basis[:, : j + 1] @ coeffs[j]
+            np.testing.assert_allclose(recon, raw[:, j], rtol=1e-10,
+                                       atol=1e-12)
+
+
+class TestNormalize:
+    def test_zero_column_raises(self, nb):
+        basis = np.zeros((10, 1))
+        with pytest.raises(NumericalError):
+            normalize_column(nb, basis, 0)
+
+
+class TestSyncCounts:
+    def test_cgs2_three_reduces_per_column(self, comm4, rng):
+        from repro.distla.multivector import DistMultiVector
+        from repro.ortho.backend import DistBackend
+        from repro.parallel.partition import Partition
+        part = Partition(120, 4)
+        db = DistBackend(comm4)
+        basis = DistMultiVector.from_global(rng.standard_normal((120, 4)),
+                                            part, comm4)
+        cgs2_append(db, basis, 0)
+        before = comm4.tracer.sync_count()
+        cgs2_append(db, basis, 1)
+        assert comm4.tracer.sync_count() - before == 3
+
+    def test_mgs_syncs_grow_with_column(self, comm4, rng):
+        from repro.distla.multivector import DistMultiVector
+        from repro.ortho.backend import DistBackend
+        from repro.parallel.partition import Partition
+        part = Partition(120, 4)
+        db = DistBackend(comm4)
+        basis = DistMultiVector.from_global(rng.standard_normal((120, 4)),
+                                            part, comm4)
+        mgs_append(db, basis, 0)
+        mgs_append(db, basis, 1)
+        before = comm4.tracer.sync_count()
+        mgs_append(db, basis, 2)
+        assert comm4.tracer.sync_count() - before == 3  # 2 dots + 1 norm

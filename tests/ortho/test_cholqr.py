@@ -1,0 +1,157 @@
+"""CholQR family: correctness, the eps^{-1/2} cliff, remedies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import EPS
+from repro.exceptions import CholeskyBreakdownError
+from repro.matrices.synthetic import logscaled_matrix
+from repro.ortho.analysis import orthogonality_error
+from repro.ortho.backend import NumpyBackend
+from repro.ortho.cholqr import (
+    CholQR,
+    CholQR2,
+    MixedPrecisionCholQR,
+    ShiftedCholQR,
+    cholesky_factor,
+)
+
+
+@pytest.fixture
+def nb():
+    return NumpyBackend()
+
+
+def factor_and_check(kernel, v, nb):
+    q = v.copy()
+    r = kernel.factor(nb, q)
+    return q, r
+
+
+class TestCholeskyFactor:
+    def test_matches_numpy(self, rng):
+        v = rng.standard_normal((50, 4))
+        g = v.T @ v
+        r = cholesky_factor(g)
+        np.testing.assert_allclose(r.T @ r, g, rtol=1e-12)
+        assert np.allclose(r, np.triu(r))
+
+    def test_breakdown_reports_eigenvalue(self):
+        g = np.array([[1.0, 0.0], [0.0, -1.0]])
+        with pytest.raises(CholeskyBreakdownError) as exc:
+            cholesky_factor(g, panel_index=7)
+        assert exc.value.gram_diag_min == pytest.approx(-1.0)
+        assert exc.value.panel_index == 7
+
+    def test_shift_rescues(self):
+        g = np.array([[1.0, 0.0], [0.0, -1e-8]])
+        r = cholesky_factor(g, shift=1e-6)
+        assert np.isfinite(r).all()
+
+
+class TestCholQR:
+    def test_factorization_property(self, nb, rng):
+        v = rng.standard_normal((200, 6))
+        q, r = factor_and_check(CholQR(), v, nb)
+        np.testing.assert_allclose(q @ r, v, rtol=1e-11, atol=1e-12)
+        assert np.all(np.diag(r) > 0)
+
+    def test_error_grows_as_kappa_squared(self, nb, rng):
+        # the bound (2): ||I - Q.T Q|| <= c1 kappa^2 (Fig. 6's slope)
+        errs = []
+        for cond in [1e2, 1e4, 1e6]:
+            v = logscaled_matrix(1000, 5, cond, rng)
+            q, _ = factor_and_check(CholQR(), v, nb)
+            errs.append(orthogonality_error(q))
+        # two decades of kappa -> ~4 decades of error
+        assert errs[1] / errs[0] > 1e2
+        assert errs[2] / errs[1] > 1e2
+
+    def test_breaks_down_past_the_cliff(self, nb, rng):
+        # condition (1) fails around kappa ~ eps^{-1/2} ~ 1e8
+        v = logscaled_matrix(1000, 5, 1e9, rng)
+        with pytest.raises(CholeskyBreakdownError):
+            factor_and_check(CholQR(), v, nb)
+
+
+class TestCholQR2:
+    def test_machine_precision_orthogonality(self, nb, rng):
+        # Theorem IV.1: O(eps) error when condition (1) holds
+        for cond in [1e1, 1e4, 1e7]:
+            v = logscaled_matrix(2000, 5, cond, rng)
+            q, r = factor_and_check(CholQR2(), v, nb)
+            assert orthogonality_error(q) < 100 * EPS
+            np.testing.assert_allclose(q @ r, v, rtol=1e-10, atol=1e-11)
+
+    def test_r_combines_passes(self, nb, rng):
+        v = logscaled_matrix(500, 4, 1e5, rng)
+        q, r = factor_and_check(CholQR2(), v, nb)
+        assert np.allclose(r, np.triu(r))
+        np.testing.assert_allclose(q @ r, v, rtol=1e-9, atol=1e-10)
+
+
+class TestShiftedCholQR:
+    def test_survives_beyond_cholqr_cliff(self, nb, rng):
+        v = logscaled_matrix(2000, 5, 1e10, rng)
+        q, r = factor_and_check(ShiftedCholQR(), v, nb)
+        assert orthogonality_error(q) < 1e-12
+        np.testing.assert_allclose(q @ r, v, rtol=1e-6, atol=1e-8)
+
+    def test_well_conditioned_same_as_cholqr2(self, nb, rng):
+        v = logscaled_matrix(500, 4, 1e3, rng)
+        q, _ = factor_and_check(ShiftedCholQR(), v, nb)
+        assert orthogonality_error(q) < 100 * EPS
+
+
+class TestMixedPrecisionCholQR:
+    def test_survives_beyond_cholqr_cliff(self, nb, rng):
+        # ref [26]: dd Gram pushes breakdown to kappa ~ eps^{-1}
+        v = logscaled_matrix(2000, 5, 1e11, rng)
+        q, r = factor_and_check(MixedPrecisionCholQR(), v, nb)
+        assert orthogonality_error(q) < 1e-10
+        np.testing.assert_allclose(q @ r, v, rtol=1e-5, atol=1e-7)
+
+    def test_reorth_off_single_pass(self, nb, rng):
+        v = logscaled_matrix(500, 4, 1e2, rng)
+        q, _ = factor_and_check(MixedPrecisionCholQR(reorth=False), v, nb)
+        # single pass: error ~ kappa^2 eps of the *rounded* factorization,
+        # still small at kappa 1e2
+        assert orthogonality_error(q) < 1e-10
+
+    def test_double_cholesky_variant(self, nb, rng):
+        v = logscaled_matrix(500, 4, 1e6, rng)
+        q, _ = factor_and_check(MixedPrecisionCholQR(factor_in_dd=False),
+                                v, nb)
+        assert orthogonality_error(q) < 1e-12
+
+
+class TestDistributedEquivalence:
+    def test_cholqr2_on_dist_backend(self, comm4, rng):
+        from repro.distla.multivector import DistMultiVector
+        from repro.ortho.backend import DistBackend
+        from repro.parallel.partition import Partition
+        part = Partition(400, 4)
+        v = logscaled_matrix(400, 5, 1e4, rng)
+        dv = DistMultiVector.from_global(v, part, comm4)
+        db = DistBackend(comm4)
+        r = CholQR2().factor(db, dv)
+        q = dv.to_global()
+        assert orthogonality_error(q) < 100 * EPS
+        np.testing.assert_allclose(q @ r, v, rtol=1e-9, atol=1e-10)
+
+    def test_cholqr_sync_counts(self, comm4, rng):
+        from repro.distla.multivector import DistMultiVector
+        from repro.ortho.backend import DistBackend
+        from repro.parallel.partition import Partition
+        part = Partition(400, 4)
+        db = DistBackend(comm4)
+        v = DistMultiVector.from_global(rng.standard_normal((400, 5)),
+                                        part, comm4)
+        before = comm4.tracer.sync_count()
+        CholQR().factor(db, v)
+        assert comm4.tracer.sync_count() - before == 1  # single reduce
+        before = comm4.tracer.sync_count()
+        CholQR2().factor(db, v)
+        assert comm4.tracer.sync_count() - before == 2

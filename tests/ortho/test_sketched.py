@@ -1,0 +1,74 @@
+"""Randomized (sketched) CholQR — the paper's future-work extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import EPS
+from repro.exceptions import ConfigurationError
+from repro.matrices.synthetic import logscaled_matrix
+from repro.ortho.analysis import orthogonality_error
+from repro.ortho.backend import NumpyBackend
+from repro.ortho.sketched import SketchedCholQR
+
+
+@pytest.fixture
+def nb():
+    return NumpyBackend()
+
+
+class TestSketchedCholQR:
+    def test_well_conditioned(self, nb, rng):
+        v = logscaled_matrix(1000, 5, 1e2, rng)
+        q = v.copy()
+        r = SketchedCholQR().factor(nb, q)
+        assert orthogonality_error(q) < 100 * EPS
+        np.testing.assert_allclose(q @ r, v, rtol=1e-9, atol=1e-10)
+
+    def test_survives_extreme_conditioning(self, nb, rng):
+        # far beyond the CholQR cliff: the sketch preconditions first
+        v = logscaled_matrix(2000, 5, 1e12, rng)
+        q = v.copy()
+        r = SketchedCholQR(oversample=8).factor(nb, q)
+        assert orthogonality_error(q) < 1e-11
+
+    def test_r_upper_triangular_positive(self, nb, rng):
+        v = logscaled_matrix(500, 4, 1e4, rng)
+        q = v.copy()
+        r = SketchedCholQR().factor(nb, q)
+        assert np.allclose(r, np.triu(r))
+        assert np.all(np.diag(r) > 0)
+
+    def test_singular_input_raises(self, nb, rng):
+        v = rng.standard_normal((200, 1)) @ np.ones((1, 4))  # rank 1
+        with pytest.raises(ConfigurationError):
+            SketchedCholQR().factor(nb, v.copy())
+
+    def test_oversample_validation(self):
+        with pytest.raises(ConfigurationError):
+            SketchedCholQR(oversample=1)
+
+    def test_distributed_backend(self, comm4, rng):
+        from repro.distla.multivector import DistMultiVector
+        from repro.ortho.backend import DistBackend
+        from repro.parallel.partition import Partition
+        part = Partition(600, 4)
+        v = logscaled_matrix(600, 5, 1e8, rng)
+        dv = DistMultiVector.from_global(v, part, comm4)
+        r = SketchedCholQR(seed=7).factor(DistBackend(comm4), dv)
+        q = dv.to_global()
+        assert orthogonality_error(q) < 1e-11
+        np.testing.assert_allclose(q @ r, v, rtol=1e-5, atol=1e-8)
+
+    def test_sync_count(self, comm4, rng):
+        from repro.distla.multivector import DistMultiVector
+        from repro.ortho.backend import DistBackend
+        from repro.parallel.partition import Partition
+        part = Partition(600, 4)
+        dv = DistMultiVector.from_global(rng.standard_normal((600, 5)),
+                                         part, comm4)
+        before = comm4.tracer.sync_count()
+        SketchedCholQR(reorth=False).factor(DistBackend(comm4), dv)
+        # sketch reduce + one CholQR reduce
+        assert comm4.tracer.sync_count() - before == 2

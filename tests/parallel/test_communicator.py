@@ -1,0 +1,79 @@
+"""Simulated communicator: tree reductions, fused collectives, accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CommunicatorError
+from repro.parallel.communicator import SimComm
+from repro.parallel.machine import generic_cpu, summit
+from repro.parallel.tracing import Tracer
+
+
+class TestAllreduce:
+    def test_sums_correctly(self, comm4):
+        shards = [np.full((2, 2), float(r)) for r in range(4)]
+        out = comm4.allreduce_sum(shards)
+        np.testing.assert_array_equal(out, np.full((2, 2), 6.0))
+
+    def test_tree_order_matches_pairwise(self, comm4):
+        rng = np.random.default_rng(7)
+        shards = [rng.standard_normal((3,)) for _ in range(4)]
+        out = comm4.allreduce_sum(shards)
+        expected = (shards[0] + shards[2]) + (shards[1] + shards[3])
+        np.testing.assert_array_equal(out, expected)
+
+    def test_charges_time_and_counts(self, comm4):
+        before = comm4.tracer.clock
+        comm4.allreduce_sum([np.zeros(4)] * 4)
+        assert comm4.tracer.clock > before
+        assert comm4.tracer.sync_count() == 1
+
+    def test_wrong_shard_count(self, comm4):
+        with pytest.raises(CommunicatorError):
+            comm4.allreduce_sum([np.zeros(2)] * 3)
+
+    def test_scalar(self, comm4):
+        assert comm4.allreduce_scalar([1.0, 2.0, 3.0, 4.0]) == 10.0
+
+
+class TestFusedAllreduce:
+    def test_single_latency_charge(self, comm4):
+        g1 = [np.ones(3)] * 4
+        g2 = [np.ones((2, 2))] * 4
+        out = comm4.fused_allreduce_sum([g1, g2])
+        np.testing.assert_array_equal(out[0], 4 * np.ones(3))
+        np.testing.assert_array_equal(out[1], 4 * np.ones((2, 2)))
+        assert comm4.tracer.sync_count() == 1  # ONE collective for both
+
+    def test_fused_cheaper_than_separate(self):
+        m = summit()
+        a = SimComm(m, 24, Tracer())
+        b = SimComm(m, 24, Tracer())
+        payload = [np.ones(16)] * 24
+        a.fused_allreduce_sum([payload, payload])
+        b.allreduce_sum(payload)
+        b.allreduce_sum(payload)
+        assert a.tracer.clock < b.tracer.clock
+
+    def test_empty(self, comm4):
+        assert comm4.fused_allreduce_sum([]) == []
+
+
+class TestLocalCharges:
+    def test_charge_local_takes_max(self, comm4):
+        comm4.charge_local("dot", [1.0, 5.0, 2.0, 3.0])
+        assert comm4.tracer.kernel_seconds("other", "dot") == 5.0
+
+    def test_charge_local_wrong_count(self, comm4):
+        with pytest.raises(CommunicatorError):
+            comm4.charge_local("dot", [1.0, 2.0])
+
+    def test_charge_halo(self, comm4):
+        comm4.charge_halo([{1: 800.0}, {0: 800.0}, {3: 800.0}, {2: 800.0}])
+        assert comm4.tracer.kernel_seconds("other", "halo") > 0
+
+    def test_size_validation(self):
+        with pytest.raises(CommunicatorError):
+            SimComm(generic_cpu(), 0)

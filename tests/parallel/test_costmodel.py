@@ -1,0 +1,136 @@
+"""Cost model: roofline behaviour, collective scaling, halo costs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.parallel.costmodel import CostModel
+from repro.parallel.machine import generic_cpu, summit, vortex
+
+
+@pytest.fixture
+def cm() -> CostModel:
+    return CostModel(summit())
+
+
+class TestLocalKernels:
+    def test_gemm_positive_and_has_latency_floor(self, cm):
+        assert cm.gemm(0, 0, 0) == pytest.approx(cm.machine.kernel_latency)
+        assert cm.gemm(1_000_000, 5, 5) > cm.machine.kernel_latency
+
+    def test_tall_skinny_gemm_is_bandwidth_bound(self, cm):
+        # widths (30, 5) on 1M rows: arithmetic intensity ~ 1 flop/byte,
+        # far below the V100 ridge -> time tracks bytes, not flops
+        n = 1_000_000
+        t = cm.gemm(n, 30, 5)
+        bytes_moved = 8.0 * (n * 30 + 30 * 5 + n * 5)
+        t_bytes = bytes_moved / (cm.machine.mem_bandwidth
+                                 * cm.gemm_efficiency(5))
+        assert t == pytest.approx(cm.machine.kernel_latency + t_bytes)
+
+    def test_gemm_efficiency_width_profile(self, cm):
+        # GEMV streams well; 5-wide split-k GEMM is the trough; wide
+        # blocks climb back to the plateau (the data-reuse mechanism)
+        assert cm.gemm_efficiency(1) == cm.machine.gemv_efficiency
+        assert cm.gemm_efficiency(5) < cm.gemm_efficiency(1)
+        assert (cm.gemm_efficiency(5) < cm.gemm_efficiency(20)
+                < cm.gemm_efficiency(60))
+        assert cm.gemm_efficiency(60) == cm.machine.gemm_bw_efficiency
+
+    def test_wide_block_cheaper_per_column_than_narrow(self, cm):
+        # total bytes for projecting 60 columns against a 60-wide prefix:
+        # one wide GEMM beats 12 narrow ones (two-stage's stage-2 win)
+        n = 500_000
+        wide = cm.gemm(n, 60, 60)
+        narrow = sum(cm.gemm(n, 60, 5) for _ in range(12))
+        assert wide < narrow
+
+    def test_spmv_fixed_overhead_floor(self, cm):
+        tiny = cm.spmv(10, 10, 10)
+        assert tiny >= cm.machine.spmv_fixed_overhead
+
+    def test_gemm_monotone_in_each_dim(self, cm):
+        base = cm.gemm(10000, 10, 10)
+        assert cm.gemm(20000, 10, 10) > base
+        assert cm.gemm(10000, 20, 10) > base
+        assert cm.gemm(10000, 10, 20) > base
+
+    def test_update_costs_more_than_dot_same_shape(self, cm):
+        # V -= Q R writes V as well as reading it
+        assert cm.gemm_tall_update(100000, 10, 5) > cm.gemm(100000, 10, 5)
+
+    def test_blas1_scales_with_streams(self, cm):
+        assert cm.blas1(100000, n_streams=3) > cm.blas1(100000, n_streams=1)
+
+    def test_spmv_bandwidth_dominated(self, cm):
+        # large enough that the fixed per-call overhead is amortized
+        t1 = cm.spmv(1e8, 1e7, 1e7)
+        t2 = cm.spmv(2e8, 1e7, 1e7)
+        assert t2 > 1.5 * t1
+
+    def test_host_dense(self, cm):
+        assert cm.host_dense(1e8) == pytest.approx(1e8 / cm.machine.host_flops)
+
+    def test_syrk_cheaper_than_general_gemm(self, cm):
+        # syrk writes only k x k, gemm k x k too but reads both operands:
+        # syrk reads V once vs gemm reading A and B
+        assert cm.syrk(100000, 8) < cm.gemm(100000, 8, 8)
+
+
+class TestCollectives:
+    def test_single_rank_free(self, cm):
+        assert cm.allreduce(1024, 1) == 0.0
+
+    def test_latency_grows_with_ranks(self, cm):
+        t6 = cm.allreduce(256, 6)       # one node
+        t12 = cm.allreduce(256, 12)     # two nodes
+        t192 = cm.allreduce(256, 192)   # 32 nodes
+        assert t6 < t12 < t192
+
+    def test_small_message_latency_dominated(self, cm):
+        # doubling a tiny payload should barely change the time
+        t1 = cm.allreduce(64, 192)
+        t2 = cm.allreduce(128, 192)
+        assert t2 < 1.05 * t1 + 1e-12
+
+    @given(st.integers(min_value=1, max_value=4096),
+           st.integers(min_value=1, max_value=512))
+    def test_monotone_in_bytes_and_ranks(self, payload, ranks):
+        cm = CostModel(summit())
+        assert cm.allreduce(payload, ranks) <= cm.allreduce(payload * 2, ranks)
+        assert cm.allreduce(payload, ranks) <= cm.allreduce(payload, ranks * 2)
+
+    def test_intra_node_cheaper_than_inter(self, cm):
+        same = cm.point_to_point(8192, same_node=True)
+        cross = cm.point_to_point(8192, same_node=False)
+        assert same < cross
+
+    def test_halo_exchange_empty(self, cm):
+        assert cm.halo_exchange({}, rank=0, ranks=6) == 0.0
+
+    def test_halo_exchange_inter_node_pricier(self, cm):
+        intra = cm.halo_exchange({1: 8192.0}, rank=0, ranks=12)
+        inter = cm.halo_exchange({7: 8192.0}, rank=0, ranks=12)
+        assert inter > intra
+
+
+class TestMachines:
+    def test_presets_distinct(self):
+        assert summit().ranks_per_node == 6
+        assert vortex().ranks_per_node == 4
+        assert generic_cpu().ranks_per_node == 16
+
+    def test_nodes_for(self):
+        m = summit()
+        assert m.nodes_for(1) == 1
+        assert m.nodes_for(6) == 1
+        assert m.nodes_for(7) == 2
+        assert m.nodes_for(192) == 32
+
+    def test_with_overrides(self):
+        m = summit().with_overrides(kernel_latency=1e-9)
+        assert m.kernel_latency == 1e-9
+        assert m.name == "summit"
+        assert summit().kernel_latency != 1e-9  # original untouched

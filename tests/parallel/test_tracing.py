@@ -1,0 +1,87 @@
+"""Tracer: phase attribution, snapshots/diffs, reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel.tracing import Tracer, phase_names
+
+
+class TestPhases:
+    def test_default_phase_is_other(self):
+        t = Tracer()
+        t.add("dot", 1.0)
+        assert t.phase_seconds("other") == 1.0
+
+    def test_nested_phases(self):
+        t = Tracer()
+        with t.phase("ortho"):
+            t.add("dot", 1.0)
+            with t.phase("spmv"):
+                t.add("halo", 0.5)
+            t.add("update", 2.0)
+        assert t.phase_seconds("ortho") == 3.0
+        assert t.phase_seconds("spmv") == 0.5
+        assert t.clock == 3.5
+
+    def test_phase_restored_after_exception(self):
+        t = Tracer()
+        with pytest.raises(RuntimeError):
+            with t.phase("ortho"):
+                raise RuntimeError("boom")
+        assert t.current_phase == "other"
+
+    def test_negative_cost_rejected(self):
+        t = Tracer()
+        with pytest.raises(ValueError):
+            t.add("dot", -1.0)
+
+
+class TestSnapshots:
+    def test_since_diff(self):
+        t = Tracer()
+        with t.phase("ortho"):
+            t.add("dot", 1.0)
+        snap = t.snapshot()
+        with t.phase("ortho"):
+            t.add("dot", 2.0)
+            t.add("allreduce", 0.5)
+        d = t.since(snap)
+        assert d.clock == 2.5
+        assert d.by_phase["ortho"] == 2.5
+        assert d.by_kernel[("ortho", "dot")] == 2.0
+        assert d.counts[("ortho", "allreduce")] == 1
+
+    def test_reset(self):
+        t = Tracer()
+        t.add("dot", 1.0)
+        t.reset()
+        assert t.clock == 0.0
+        assert t.sync_count() == 0
+
+
+class TestAccessors:
+    def test_sync_count_by_phase(self):
+        t = Tracer()
+        with t.phase("ortho"):
+            t.add("allreduce", 0.1)
+            t.add("allreduce", 0.1)
+        with t.phase("spmv"):
+            t.add("allreduce", 0.1)
+        assert t.sync_count() == 3
+        assert t.sync_count("ortho") == 2
+
+    def test_kernel_count(self):
+        t = Tracer()
+        t.add("dot", 0.5, count=3)
+        assert t.kernel_count("other", "dot") == 3
+
+    def test_report_contains_phases(self):
+        t = Tracer()
+        with t.phase("ortho"):
+            t.add("dot", 1.0)
+        rep = t.report()
+        assert "ortho" in rep and "dot" in rep
+
+    def test_phase_names(self):
+        assert "ortho" in phase_names()

@@ -1,0 +1,191 @@
+"""Preconditioners: Jacobi, coloring, Gauss-Seidel, block Jacobi, Chebyshev."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError, NumericalError
+from repro.krylov.simulation import Simulation
+from repro.matrices.stencil import laplace2d
+from repro.parallel.machine import generic_cpu
+from repro.precond.base import IdentityPreconditioner
+from repro.precond.block_jacobi import BlockJacobiPreconditioner
+from repro.precond.coloring import color_classes, greedy_coloring
+from repro.precond.gauss_seidel import LocalGaussSeidel
+from repro.precond.jacobi import JacobiPreconditioner
+from repro.precond.polynomial import ChebyshevPreconditioner, gershgorin_interval
+
+
+@pytest.fixture
+def sim() -> Simulation:
+    return Simulation(laplace2d(12), ranks=4, machine=generic_cpu())
+
+
+class TestIdentity:
+    def test_apply_copies(self, sim, rng):
+        pc = IdentityPreconditioner().setup(sim.matrix)
+        x = sim.vector_from(rng.standard_normal(sim.n))
+        out = sim.zeros(1)
+        pc.apply(x, out)
+        np.testing.assert_array_equal(out.to_global(), x.to_global())
+
+
+class TestJacobi:
+    def test_apply_is_diag_scaling(self, sim, rng):
+        pc = JacobiPreconditioner().setup(sim.matrix)
+        x = rng.standard_normal(sim.n)
+        out = sim.zeros(1)
+        pc.apply(sim.vector_from(x), out)
+        expected = x / sim.matrix.to_scipy().diagonal()
+        np.testing.assert_allclose(out.to_global()[:, 0], expected,
+                                   rtol=1e-14)
+
+    def test_apply_before_setup_raises(self, sim):
+        pc = JacobiPreconditioner()
+        with pytest.raises(ConfigurationError):
+            pc.apply(sim.zeros(1), sim.zeros(1))
+
+    def test_zero_diagonal_rejected(self, comm4):
+        from repro.distla.spmatrix import DistSparseMatrix
+        from repro.parallel.partition import Partition
+        a = sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 1.0]]))
+        mat = DistSparseMatrix(a, Partition(2, 4,
+                                            offsets=np.array([0, 1, 2, 2, 2])),
+                               comm4)
+        with pytest.raises(NumericalError):
+            JacobiPreconditioner().setup(mat)
+
+
+class TestColoring:
+    def test_valid_coloring_on_laplacian(self):
+        a = laplace2d(8)
+        colors = greedy_coloring(a)
+        coo = a.tocoo()
+        for i, j in zip(coo.row, coo.col):
+            if i != j:
+                assert colors[i] != colors[j]
+
+    def test_stencil_uses_two_colors(self):
+        # 5-point stencil graph is bipartite
+        colors = greedy_coloring(laplace2d(6))
+        assert colors.max() == 1
+
+    @given(st.integers(min_value=2, max_value=40),
+           st.floats(min_value=0.05, max_value=0.4))
+    @settings(max_examples=15, deadline=None)
+    def test_valid_on_random_graphs(self, n, density):
+        a = sp.random(n, n, density=density, random_state=n) + sp.eye(n)
+        colors = greedy_coloring(a)
+        pattern = (a + a.T).tocoo()
+        for i, j in zip(pattern.row, pattern.col):
+            if i != j:
+                assert colors[i] != colors[j]
+
+    def test_color_classes_partition(self):
+        colors = greedy_coloring(laplace2d(5))
+        classes = color_classes(colors)
+        allidx = np.sort(np.concatenate(classes))
+        np.testing.assert_array_equal(allidx, np.arange(25))
+
+
+class TestLocalGaussSeidel:
+    @pytest.mark.parametrize("ordering", ["natural", "multicolor"])
+    def test_reduces_residual(self, ordering, rng):
+        a = laplace2d(8).tocsr()
+        x = rng.standard_normal(64)
+        gs = LocalGaussSeidel(a, ordering=ordering, sweeps=1)
+        z = gs.apply(x)
+        assert np.linalg.norm(x - a @ z) < np.linalg.norm(x)
+
+    @pytest.mark.parametrize("ordering", ["natural", "multicolor"])
+    def test_more_sweeps_better(self, ordering, rng):
+        a = laplace2d(8).tocsr()
+        x = rng.standard_normal(64)
+        r1 = np.linalg.norm(x - a @ LocalGaussSeidel(
+            a, ordering=ordering, sweeps=1).apply(x))
+        r4 = np.linalg.norm(x - a @ LocalGaussSeidel(
+            a, ordering=ordering, sweeps=4).apply(x))
+        assert r4 < r1
+
+    def test_natural_first_sweep_is_triangular_solve(self, rng):
+        a = laplace2d(6).tocsr()
+        x = rng.standard_normal(36)
+        gs = LocalGaussSeidel(a, ordering="natural", sweeps=1)
+        z = gs.apply(x)
+        lower = sp.tril(a).tocsr()
+        expected = sp.linalg.spsolve_triangular(lower, x, lower=True)
+        np.testing.assert_allclose(z, expected, rtol=1e-12)
+
+    def test_validation(self):
+        a = laplace2d(4).tocsr()
+        with pytest.raises(ConfigurationError):
+            LocalGaussSeidel(a, ordering="zigzag")
+        with pytest.raises(ConfigurationError):
+            LocalGaussSeidel(a, sweeps=0)
+        gs = LocalGaussSeidel(a)
+        with pytest.raises(ConfigurationError):
+            gs.apply(np.ones(5))
+
+    def test_zero_diagonal_rejected(self):
+        a = sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 2.0]]))
+        with pytest.raises(NumericalError):
+            LocalGaussSeidel(a)
+
+
+class TestBlockJacobi:
+    def test_apply_matches_per_block_gs(self, sim, rng):
+        pc = BlockJacobiPreconditioner(ordering="natural").setup(sim.matrix)
+        x = rng.standard_normal(sim.n)
+        out = sim.zeros(1)
+        pc.apply(sim.vector_from(x), out)
+        # reference: per-rank triangular solve on the diagonal block
+        part = sim.partition
+        a = sim.matrix.to_scipy()
+        expected = np.zeros(sim.n)
+        for r in range(part.ranks):
+            sl = part.local_slice(r)
+            block = a[sl, sl].tocsr()
+            lower = sp.tril(block).tocsr()
+            expected[sl] = sp.linalg.spsolve_triangular(lower, x[sl],
+                                                        lower=True)
+        np.testing.assert_allclose(out.to_global()[:, 0], expected,
+                                   rtol=1e-12)
+
+    def test_multicolor_charges_precond_free_comm(self, sim, rng):
+        pc = BlockJacobiPreconditioner().setup(sim.matrix)
+        before = sim.tracer.sync_count()
+        out = sim.zeros(1)
+        pc.apply(sim.vector_from(rng.standard_normal(sim.n)), out)
+        assert sim.tracer.sync_count() == before  # local => no reduces
+
+
+class TestChebyshev:
+    def test_gershgorin_bounds_spectrum(self):
+        sim = Simulation(laplace2d(8), ranks=2, machine=generic_cpu())
+        lo, hi = gershgorin_interval(sim.matrix)
+        eigs = np.linalg.eigvalsh(sim.matrix.to_scipy().toarray())
+        assert lo <= eigs.min() + 1e-10
+        assert hi >= eigs.max() - 1e-10
+
+    def test_approximates_inverse(self, sim, rng):
+        pc = ChebyshevPreconditioner(degree=8).setup(sim.matrix)
+        x = rng.standard_normal(sim.n)
+        out = sim.zeros(1)
+        pc.apply(sim.vector_from(x), out)
+        a = sim.matrix.to_scipy()
+        z = out.to_global()[:, 0]
+        # preconditioned residual much smaller than unpreconditioned
+        assert (np.linalg.norm(x - a @ z) < 0.7 * np.linalg.norm(x))
+
+    def test_degree_validation(self):
+        with pytest.raises(ConfigurationError):
+            ChebyshevPreconditioner(degree=0)
+
+    def test_bad_interval(self, sim):
+        pc = ChebyshevPreconditioner(degree=2, interval=(2.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            pc.setup(sim.matrix)
