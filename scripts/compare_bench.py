@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Diff two ``BENCH_*.json`` artifacts and gate CI on the result.
+
+Two checks, combinable in one invocation:
+
+* regression gate (default when two artifacts are given): every benchmark
+  present in both files must not be slower than ``baseline * (1 + t)``
+  with ``t`` the ``--threshold`` (default 0.20, i.e. 20%);
+* speedup gate (``--check-speedup NAME``): within the *current* artifact,
+  ``NAME[batched]`` must be at least ``--min-speedup`` (default 1.5x)
+  faster than ``NAME[loop]`` — the engine claim this repo's CI enforces
+  on ``test_block_dot`` and ``test_block_axpy``.
+
+Exit status 0 when all gates pass, 1 otherwise.  Examples::
+
+    python scripts/compare_bench.py benchmarks/BENCH_kernels.json \
+        bench-out/BENCH_kernels.json
+    python scripts/compare_bench.py bench-out/BENCH_kernels.json \
+        --check-speedup test_block_dot --check-speedup test_block_axpy
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.artifacts import compare_artifacts, load_artifact  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline BENCH_*.json (or the only "
+                        "artifact when just --check-speedup is wanted)")
+    parser.add_argument("current", nargs="?", default=None,
+                        help="current BENCH_*.json to compare against baseline")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="allowed fractional wall-time regression "
+                        "(default: 0.20)")
+    parser.add_argument("--check-speedup", action="append", default=[],
+                        metavar="NAME",
+                        help="require NAME[batched] >= --min-speedup x faster "
+                        "than NAME[loop] in the current artifact (repeatable)")
+    parser.add_argument("--min-speedup", type=float, default=1.5,
+                        help="required batched-vs-loop speedup (default: 1.5)")
+    args = parser.parse_args(argv)
+
+    baseline = load_artifact(args.baseline)
+    current = load_artifact(args.current) if args.current else baseline
+    failed = False
+
+    if args.current:
+        shared = set(baseline.names()) & set(current.names())
+        if baseline.benchmarks and not shared:
+            # A rename must not turn the gate green by vacuity.
+            print("GATE VACUOUS: no benchmark names shared between "
+                  f"{args.baseline} and {args.current}")
+            failed = True
+        regressions = compare_artifacts(baseline, current,
+                                        threshold=args.threshold)
+        for reg in regressions:
+            print(f"REGRESSION {reg}")
+            failed = True
+        if shared and not regressions:
+            print(f"regression gate ok: {len(shared)} shared benchmarks "
+                  f"within {args.threshold:.0%} of baseline")
+
+    for name in args.check_speedup:
+        try:
+            speedup = current.speedup(f"{name}[loop]", f"{name}[batched]")
+        except KeyError as exc:
+            print(f"SPEEDUP CHECK FAILED {name}: {exc}")
+            failed = True
+            continue
+        ok = speedup >= args.min_speedup
+        tag = "ok" if ok else "TOO SLOW"
+        print(f"speedup {tag}: {name} batched is {speedup:.2f}x vs loop "
+              f"(required {args.min_speedup:.2f}x)")
+        failed = failed or not ok
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

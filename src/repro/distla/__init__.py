@@ -4,11 +4,15 @@ Containers: :class:`DistMultiVector` (1-D block-row distributed n x k
 blocks of vectors) and :class:`DistSparseMatrix` (block-row CSR with a
 precomputed halo-exchange plan).  All numerically-relevant operations are
 routed through :mod:`repro.distla.blas` / :mod:`repro.distla.spmv`, which
-perform the per-rank computation and charge modeled time.
+perform the per-rank computation and charge modeled time.  How the
+per-rank work executes is pluggable (:mod:`repro.distla.engine`): the
+``"loop"`` reference engine or the ``"batched"`` engine running stacked
+shards as single batched kernels, selected via :func:`repro.config.set_engine`.
 """
 
 from repro.distla.multivector import DistMultiVector
 from repro.distla.spmatrix import DistSparseMatrix
+from repro.distla.engine import BatchedEngine, KernelEngine, LoopEngine
 from repro.distla.blas import (
     block_dot,
     block_dot_multi,
@@ -22,6 +26,9 @@ from repro.distla.blas import (
 __all__ = [
     "DistMultiVector",
     "DistSparseMatrix",
+    "KernelEngine",
+    "LoopEngine",
+    "BatchedEngine",
     "block_dot",
     "block_dot_multi",
     "block_update",

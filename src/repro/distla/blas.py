@@ -8,17 +8,30 @@ ranks; reductions cost one (possibly fused) allreduce.
 Kernel attribution matches the paper's breakdown figures: Gram/projection
 GEMMs are charged to ``dot`` (paper: "dot-products"), tall ``V -= Q R``
 GEMMs to ``update`` ("vector-updates"), triangular scaling to ``trsm``.
+
+Execution strategy is pluggable: this module validates shapes and then
+dispatches to a :mod:`repro.distla.engine` kernel engine — the per-rank
+``"loop"`` reference or the ``"batched"`` stacked path — resolved from
+the optional ``engine`` argument, the communicator binding, or
+:func:`repro.config.get_engine`.  Both engines produce the same reduction
+order and charge identical modeled costs.
 """
 
 from __future__ import annotations
 
+from typing import Optional, Union
+
 import numpy as np
-import scipy.linalg
 
 from repro.dd.core import dd_add
 from repro.dd.linalg import matmul_dd
+from repro.distla import engine as _engine
 from repro.distla.multivector import DistMultiVector
 from repro.exceptions import ShapeError
+
+#: What the ``engine`` argument accepts: a name, an engine instance, or
+#: None (defer to the communicator binding / process default).
+EngineLike = Optional[Union[str, _engine.KernelEngine]]
 
 
 def _check_same_partition(*mvs: DistMultiVector) -> None:
@@ -34,7 +47,8 @@ def _check_same_partition(*mvs: DistMultiVector) -> None:
 # reductions
 # ---------------------------------------------------------------------------
 
-def block_dot(x: DistMultiVector, y: DistMultiVector) -> np.ndarray:
+def block_dot(x: DistMultiVector, y: DistMultiVector,
+              engine: EngineLike = None) -> np.ndarray:
     """Global ``X.T @ Y`` — one GEMM per rank + one allreduce.
 
     Returns the ``(kx, ky)`` result, replicated (conceptually) on every
@@ -42,15 +56,11 @@ def block_dot(x: DistMultiVector, y: DistMultiVector) -> np.ndarray:
     redundantly on all the MPI processes".
     """
     _check_same_partition(x, y)
-    comm = x.comm
-    partials = [xs.T @ ys for xs, ys in zip(x.shards, y.shards)]
-    costs = [comm.cost.gemm(xs.shape[0], x.n_cols, y.n_cols) for xs in x.shards]
-    comm.charge_local("dot", costs)
-    return comm.allreduce_sum(partials)
+    return _engine.resolve(engine, x.comm).block_dot(x, y)
 
 
-def block_dot_multi(pairs: list[tuple[DistMultiVector, DistMultiVector]]
-                    ) -> list[np.ndarray]:
+def block_dot_multi(pairs: list[tuple[DistMultiVector, DistMultiVector]],
+                    engine: EngineLike = None) -> list[np.ndarray]:
     """Several ``X.T @ Y`` products fused into a *single* allreduce.
 
     This is the communication pattern that makes BCGS-PIP a "single-reduce"
@@ -60,16 +70,11 @@ def block_dot_multi(pairs: list[tuple[DistMultiVector, DistMultiVector]]
     if not pairs:
         return []
     comm = pairs[0][0].comm
-    groups = []
     for x, y in pairs:
         _check_same_partition(x, y)
         if x.comm is not comm:
             raise ShapeError("fused dots must share a communicator")
-        groups.append([xs.T @ ys for xs, ys in zip(x.shards, y.shards)])
-        costs = [comm.cost.gemm(xs.shape[0], x.n_cols, y.n_cols)
-                 for xs in x.shards]
-        comm.charge_local("dot", costs)
-    return comm.fused_allreduce_sum(groups)
+    return _engine.resolve(engine, comm).block_dot_multi(pairs)
 
 
 def dot_dd_dist(x: DistMultiVector, y: DistMultiVector
@@ -112,14 +117,10 @@ def dot_dd_dist(x: DistMultiVector, y: DistMultiVector
     return acc
 
 
-def column_norms(x: DistMultiVector) -> np.ndarray:
+def column_norms(x: DistMultiVector,
+                 engine: EngineLike = None) -> np.ndarray:
     """2-norms of each column (one fused allreduce)."""
-    comm = x.comm
-    partials = [np.einsum("ij,ij->j", s, s) for s in x.shards]
-    costs = [comm.cost.blas1(s.size, n_streams=1, writes=0) for s in x.shards]
-    comm.charge_local("norm", costs)
-    sq = comm.allreduce_sum(partials)
-    return np.sqrt(sq)
+    return _engine.resolve(engine, x.comm).column_norms(x)
 
 
 # ---------------------------------------------------------------------------
@@ -127,7 +128,7 @@ def column_norms(x: DistMultiVector) -> np.ndarray:
 # ---------------------------------------------------------------------------
 
 def block_update(v: DistMultiVector, q: DistMultiVector,
-                 r: np.ndarray) -> None:
+                 r: np.ndarray, engine: EngineLike = None) -> None:
     """In-place tall update ``V -= Q @ R`` (no communication).
 
     ``r`` is the replicated small matrix from a previous reduction.
@@ -137,72 +138,47 @@ def block_update(v: DistMultiVector, q: DistMultiVector,
     if r.shape != (q.n_cols, v.n_cols):
         raise ShapeError(
             f"R has shape {r.shape}, expected ({q.n_cols}, {v.n_cols})")
-    comm = v.comm
-    for vs, qs in zip(v.shards, q.shards):
-        vs -= qs @ r
-    costs = [comm.cost.gemm_tall_update(vs.shape[0], q.n_cols, v.n_cols)
-             for vs in v.shards]
-    comm.charge_local("update", costs)
+    _engine.resolve(engine, v.comm).block_update(v, q, r)
 
 
-def trsm_inplace(v: DistMultiVector, r: np.ndarray) -> None:
+def trsm_inplace(v: DistMultiVector, r: np.ndarray,
+                 engine: EngineLike = None) -> None:
     """In-place ``V <- V @ R^{-1}`` with upper-triangular replicated ``R``."""
     r = np.asarray(r, dtype=np.float64)
     k = v.n_cols
     if r.shape != (k, k):
         raise ShapeError(f"R has shape {r.shape}, expected ({k}, {k})")
-    comm = v.comm
-    for vs in v.shards:
-        if vs.shape[0]:
-            # Solve R.T x.T = v.T  <=>  x = v R^{-1}; use the transposed
-            # triangular solve to stay in C-contiguous layout.
-            vs[...] = scipy.linalg.solve_triangular(
-                r, vs.T, trans="T", lower=False).T
-    costs = [comm.cost.trsm(vs.shape[0], k) for vs in v.shards]
-    comm.charge_local("trsm", costs)
+    _engine.resolve(engine, v.comm).trsm_inplace(v, r)
 
 
-def scale_columns(v: DistMultiVector, scales: np.ndarray) -> None:
+def scale_columns(v: DistMultiVector, scales: np.ndarray,
+                  engine: EngineLike = None) -> None:
     """In-place per-column scaling ``V[:, j] *= scales[j]``."""
     scales = np.asarray(scales, dtype=np.float64)
     if scales.shape != (v.n_cols,):
         raise ShapeError(f"scales has shape {scales.shape}, expected ({v.n_cols},)")
-    comm = v.comm
-    for vs in v.shards:
-        vs *= scales[np.newaxis, :]
-    costs = [comm.cost.blas1(vs.size, n_streams=1, writes=1) for vs in v.shards]
-    comm.charge_local("scale", costs)
+    _engine.resolve(engine, v.comm).scale_columns(v, scales)
 
 
-def lincomb(out: DistMultiVector, terms: list[tuple[float, DistMultiVector]]) -> None:
+def lincomb(out: DistMultiVector, terms: list[tuple[float, DistMultiVector]],
+            engine: EngineLike = None) -> None:
     """``out <- sum_i alpha_i X_i`` (streaming axpy chain, no comm)."""
     if not terms:
         out.fill(0.0)
         return
     _check_same_partition(out, *[t[1] for t in terms])
-    comm = out.comm
-    for r, outs in enumerate(out.shards):
-        acc = terms[0][0] * terms[0][1].shards[r]
-        for alpha, x in terms[1:]:
-            acc += alpha * x.shards[r]
-        outs[...] = acc
-    costs = [comm.cost.blas1(s.size, n_streams=len(terms), writes=1)
-             for s in out.shards]
-    comm.charge_local("axpy", costs)
+    _engine.resolve(engine, out.comm).lincomb(out, terms)
 
 
-def copy_into(dst: DistMultiVector, src: DistMultiVector) -> None:
+def copy_into(dst: DistMultiVector, src: DistMultiVector,
+              engine: EngineLike = None) -> None:
     """Costed device copy ``dst <- src`` (one read + one write stream)."""
     _check_same_partition(dst, src)
-    comm = dst.comm
-    dst.assign_from(src)
-    costs = [comm.cost.blas1(s.size, n_streams=1, writes=1)
-             for s in src.shards]
-    comm.charge_local("axpy", costs)
+    _engine.resolve(engine, dst.comm).copy_into(dst, src)
 
 
 def matvec_small(v: DistMultiVector, coeffs: np.ndarray,
-                 out: DistMultiVector) -> None:
+                 out: DistMultiVector, engine: EngineLike = None) -> None:
     """``out <- V @ coeffs`` where coeffs is a replicated small matrix.
 
     Used for forming the approximate solution ``x += V_m y`` at the end of
@@ -213,9 +189,4 @@ def matvec_small(v: DistMultiVector, coeffs: np.ndarray,
     if coeffs.shape != (v.n_cols, out.n_cols):
         raise ShapeError(
             f"coeffs has shape {coeffs.shape}, expected ({v.n_cols}, {out.n_cols})")
-    comm = v.comm
-    for vs, outs in zip(v.shards, out.shards):
-        outs[...] = vs @ coeffs
-    costs = [comm.cost.gemm(vs.shape[0], v.n_cols, out.n_cols)
-             for vs in v.shards]
-    comm.charge_local("update", costs)
+    _engine.resolve(engine, v.comm).matvec_small(v, coeffs, out)

@@ -1,0 +1,319 @@
+"""Kernel-execution engines behind the costed block-BLAS layer.
+
+The :mod:`repro.distla.blas` functions describe *what* a distributed
+operation computes and charges; an engine decides *how* the per-rank
+NumPy work executes:
+
+* :class:`LoopEngine` — the reference path: one Python-level BLAS call
+  per simulated rank (one GEMM per shard, one cost evaluation per rank).
+* :class:`BatchedEngine` — executes equal-sized shards as a single
+  batched kernel over the contiguous ``(ranks, rows, k)`` stack that
+  :class:`~repro.distla.multivector.DistMultiVector` keeps for uniform
+  partitions: ``block_dot`` becomes one ``matmul`` over the rank axis,
+  ``lincomb``/``scale`` become whole-stack streaming ops, and the
+  reduction tree folds with one vectorized add per level.  Any operand
+  without a stack (ragged partition, caller-supplied shards) falls back
+  to the loop path op-by-op, so results and charged costs never depend
+  on which constructor built the vector.
+
+Both engines preserve the MPI-faithful pairwise reduction order (see
+:class:`~repro.parallel.communicator.SimComm`) and charge identical
+modeled costs: uniform partitions make the per-rank cost formula the
+same on every rank, so ``max(costs)`` equals the single evaluated value.
+
+Selection: pass ``engine="loop"|"batched"`` to a blas call or a
+:class:`~repro.ortho.backend.DistBackend`, bind one per communicator
+(``SimComm(..., engine=...)``), or set the process default through
+:func:`repro.config.set_engine` / the ``REPRO_ENGINE`` variable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+
+from repro import config
+
+
+class KernelEngine:
+    """Common interface; concrete engines implement the kernel bodies."""
+
+    name: str = "abstract"
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+# ---------------------------------------------------------------------------
+# loop engine (reference semantics)
+# ---------------------------------------------------------------------------
+
+class LoopEngine(KernelEngine):
+    """One NumPy call per simulated rank — the reference execution path."""
+
+    name = config.ENGINE_LOOP
+
+    # -- reductions -----------------------------------------------------
+    def block_dot(self, x, y) -> np.ndarray:
+        comm = x.comm
+        partials = [xs.T @ ys for xs, ys in zip(x.shards, y.shards)]
+        costs = [comm.cost.gemm(xs.shape[0], x.n_cols, y.n_cols)
+                 for xs in x.shards]
+        comm.charge_local("dot", costs)
+        return comm.allreduce_sum(partials)
+
+    def block_dot_multi(self, pairs) -> list[np.ndarray]:
+        comm = pairs[0][0].comm
+        groups = []
+        for x, y in pairs:
+            groups.append([xs.T @ ys for xs, ys in zip(x.shards, y.shards)])
+            costs = [comm.cost.gemm(xs.shape[0], x.n_cols, y.n_cols)
+                     for xs in x.shards]
+            comm.charge_local("dot", costs)
+        return comm.fused_allreduce_sum(groups)
+
+    def column_norms(self, x) -> np.ndarray:
+        comm = x.comm
+        partials = [np.einsum("ij,ij->j", s, s) for s in x.shards]
+        costs = [comm.cost.blas1(s.size, n_streams=1, writes=0)
+                 for s in x.shards]
+        comm.charge_local("norm", costs)
+        sq = comm.allreduce_sum(partials)
+        return np.sqrt(sq)
+
+    # -- local (communication-free) updates ------------------------------
+    def block_update(self, v, q, r: np.ndarray) -> None:
+        comm = v.comm
+        for vs, qs in zip(v.shards, q.shards):
+            vs -= qs @ r
+        costs = [comm.cost.gemm_tall_update(vs.shape[0], q.n_cols, v.n_cols)
+                 for vs in v.shards]
+        comm.charge_local("update", costs)
+
+    def trsm_inplace(self, v, r: np.ndarray) -> None:
+        comm = v.comm
+        k = v.n_cols
+        for vs in v.shards:
+            if vs.shape[0]:
+                # Solve R.T x.T = v.T  <=>  x = v R^{-1}; use the transposed
+                # triangular solve to stay in C-contiguous layout.
+                vs[...] = scipy.linalg.solve_triangular(
+                    r, vs.T, trans="T", lower=False).T
+        costs = [comm.cost.trsm(vs.shape[0], k) for vs in v.shards]
+        comm.charge_local("trsm", costs)
+
+    def scale_columns(self, v, scales: np.ndarray) -> None:
+        comm = v.comm
+        for vs in v.shards:
+            vs *= scales[np.newaxis, :]
+        costs = [comm.cost.blas1(vs.size, n_streams=1, writes=1)
+                 for vs in v.shards]
+        comm.charge_local("scale", costs)
+
+    def lincomb(self, out, terms) -> None:
+        comm = out.comm
+        for r, outs in enumerate(out.shards):
+            acc = terms[0][0] * terms[0][1].shards[r]
+            for alpha, x in terms[1:]:
+                acc += alpha * x.shards[r]
+            outs[...] = acc
+        costs = [comm.cost.blas1(s.size, n_streams=len(terms), writes=1)
+                 for s in out.shards]
+        comm.charge_local("axpy", costs)
+
+    def copy_into(self, dst, src) -> None:
+        comm = dst.comm
+        dst.assign_from(src)
+        costs = [comm.cost.blas1(s.size, n_streams=1, writes=1)
+                 for s in src.shards]
+        comm.charge_local("axpy", costs)
+
+    def matvec_small(self, v, coeffs: np.ndarray, out) -> None:
+        comm = v.comm
+        for vs, outs in zip(v.shards, out.shards):
+            outs[...] = vs @ coeffs
+        costs = [comm.cost.gemm(vs.shape[0], v.n_cols, out.n_cols)
+                 for vs in v.shards]
+        comm.charge_local("update", costs)
+
+
+# ---------------------------------------------------------------------------
+# batched engine
+# ---------------------------------------------------------------------------
+
+class BatchedEngine(LoopEngine):
+    """Single batched kernels over ``(ranks, rows, k)`` shard stacks.
+
+    Inherits the loop implementations as the ragged/unstacked fallback;
+    every override first checks that all operands carry a stack.
+    """
+
+    name = config.ENGINE_BATCHED
+
+    #: Element cutoff (per operand stack) above which write-heavy kernels
+    #: keep the per-rank loop: one rank's shard fits in cache, so the loop
+    #: is effectively cache-tiled, while streaming a multi-MB stack plus
+    #: its temporaries goes to DRAM.  GEMM reductions (``block_dot``) are
+    #: exempt — BLAS tiles those internally, so batching never loses.
+    #: Both paths are elementwise-identical, so this is purely a speed
+    #: heuristic, never a semantics switch.
+    stream_elems_max: int = 131_072  # 1 MiB of float64 per operand
+
+    @staticmethod
+    def _stacks(*mvs) -> list[np.ndarray] | None:
+        stacks = [mv.stack for mv in mvs]
+        if any(s is None for s in stacks):
+            return None
+        return stacks
+
+    def _stream_stacks(self, *mvs) -> list[np.ndarray] | None:
+        """Stacks for a write-heavy streaming kernel, or None to fall back
+        (missing stack, or the written operand exceeds the cache cutoff)."""
+        stacks = self._stacks(*mvs)
+        if stacks is None or stacks[0].size > self.stream_elems_max:
+            return None
+        return stacks
+
+    # -- reductions -----------------------------------------------------
+    def block_dot(self, x, y) -> np.ndarray:
+        stacks = self._stacks(x, y)
+        if stacks is None:
+            return super().block_dot(x, y)
+        xs, ys = stacks
+        comm = x.comm
+        partials = np.matmul(xs.transpose(0, 2, 1), ys)
+        comm.charge_uniform(
+            "dot", comm.cost.gemm(xs.shape[1], x.n_cols, y.n_cols))
+        return comm.allreduce_sum_stacked(partials)
+
+    def block_dot_multi(self, pairs) -> list[np.ndarray]:
+        stacks = []
+        for x, y in pairs:
+            s = self._stacks(x, y)
+            if s is None:
+                return super().block_dot_multi(pairs)
+            stacks.append(s)
+        comm = pairs[0][0].comm
+        groups = []
+        for (xs, ys), (x, y) in zip(stacks, pairs):
+            groups.append(np.matmul(xs.transpose(0, 2, 1), ys))
+            comm.charge_uniform(
+                "dot", comm.cost.gemm(xs.shape[1], x.n_cols, y.n_cols))
+        return comm.fused_allreduce_sum_stacked(groups)
+
+    def column_norms(self, x) -> np.ndarray:
+        stack = x.stack
+        if stack is None:
+            return super().column_norms(x)
+        comm = x.comm
+        partials = np.einsum("rij,rij->rj", stack, stack)
+        comm.charge_uniform(
+            "norm", comm.cost.blas1(stack[0].size, n_streams=1, writes=0))
+        sq = comm.allreduce_sum_stacked(partials)
+        return np.sqrt(sq)
+
+    # -- local updates ----------------------------------------------------
+    def block_update(self, v, q, r: np.ndarray) -> None:
+        stacks = self._stream_stacks(v, q)
+        if stacks is None:
+            return super().block_update(v, q, r)
+        sv, sq = stacks
+        comm = v.comm
+        sv -= np.matmul(sq, r)
+        comm.charge_uniform(
+            "update",
+            comm.cost.gemm_tall_update(sv.shape[1], q.n_cols, v.n_cols))
+
+    def trsm_inplace(self, v, r: np.ndarray) -> None:
+        stack = v.stack
+        if stack is None:
+            return super().trsm_inplace(v, r)
+        comm = v.comm
+        ranks, rows, k = stack.shape
+        if rows and k:
+            # One triangular solve over all ranks' rows; reshape copies
+            # only when the stack is a strided column view.
+            flat = stack.reshape(ranks * rows, k)
+            solved = scipy.linalg.solve_triangular(
+                r, flat.T, trans="T", lower=False).T
+            stack[...] = solved.reshape(ranks, rows, k)
+        comm.charge_uniform("trsm", comm.cost.trsm(rows, k))
+
+    def scale_columns(self, v, scales: np.ndarray) -> None:
+        stacks = self._stream_stacks(v)
+        if stacks is None:
+            return super().scale_columns(v, scales)
+        stack = stacks[0]
+        comm = v.comm
+        stack *= scales[np.newaxis, np.newaxis, :]
+        comm.charge_uniform(
+            "scale", comm.cost.blas1(stack[0].size, n_streams=1, writes=1))
+
+    def lincomb(self, out, terms) -> None:
+        stacks = self._stream_stacks(out, *[t[1] for t in terms])
+        if stacks is None:
+            return super().lincomb(out, terms)
+        comm = out.comm
+        acc = terms[0][0] * stacks[1]
+        for (alpha, _), stack in zip(terms[1:], stacks[2:]):
+            acc += alpha * stack
+        stacks[0][...] = acc
+        comm.charge_uniform(
+            "axpy",
+            comm.cost.blas1(stacks[0][0].size, n_streams=len(terms), writes=1))
+
+    def copy_into(self, dst, src) -> None:
+        stacks = self._stream_stacks(dst, src)
+        if stacks is None:
+            return super().copy_into(dst, src)
+        comm = dst.comm
+        stacks[0][...] = stacks[1]
+        comm.charge_uniform(
+            "axpy", comm.cost.blas1(stacks[1][0].size, n_streams=1, writes=1))
+
+    def matvec_small(self, v, coeffs: np.ndarray, out) -> None:
+        stacks = self._stream_stacks(out, v)
+        if stacks is None:
+            return super().matvec_small(v, coeffs, out)
+        sout, sv = stacks
+        comm = v.comm
+        sout[...] = np.matmul(sv, coeffs)
+        comm.charge_uniform(
+            "update", comm.cost.gemm(sv.shape[1], v.n_cols, out.n_cols))
+
+
+# ---------------------------------------------------------------------------
+# resolution
+# ---------------------------------------------------------------------------
+
+_INSTANCES: dict[str, KernelEngine] = {
+    config.ENGINE_LOOP: LoopEngine(),
+    config.ENGINE_BATCHED: BatchedEngine(),
+}
+
+# config.validate_engine (used by SimComm/DistBackend constructors) and
+# this dispatch registry must never drift apart, or a name accepted at a
+# binding site would still blow up inside the first BLAS call.
+assert set(_INSTANCES) == set(config.ENGINES), \
+    "engine registry out of sync with repro.config.ENGINES"
+
+
+def get_engine(name: str) -> KernelEngine:
+    """Engine singleton for ``name`` (``"loop"`` or ``"batched"``)."""
+    try:
+        return _INSTANCES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {name!r}; expected one of "
+            f"{tuple(_INSTANCES)}") from None
+
+
+def resolve(engine: "str | KernelEngine | None", comm=None) -> KernelEngine:
+    """Resolve an engine: explicit arg > communicator binding > config."""
+    if isinstance(engine, KernelEngine):
+        return engine
+    if engine is not None:
+        return get_engine(engine)
+    if comm is not None and getattr(comm, "engine", None) is not None:
+        return get_engine(comm.engine)
+    return get_engine(config.get_engine())

@@ -5,6 +5,14 @@ A :class:`DistMultiVector` owns one float64 shard per rank, each of shape
 solver can preallocate the full ``n x (m+1)`` basis once and hand
 orthogonalization kernels zero-copy windows into it — the same pattern
 Trilinos uses with Tpetra MultiVector subviews.
+
+When the partition is *uniform* (every rank owns the same row count) the
+library constructors additionally back the shards by one contiguous
+``(ranks, rows, k)`` array, exposed via :attr:`DistMultiVector.stack`.
+The batched execution engine (:mod:`repro.distla.engine`) runs its
+kernels directly on that stack — one batched GEMM over the rank axis
+instead of a Python loop — while the per-rank ``shards`` views stay valid
+for loop-path code and for the simulated sparse kernels.
 """
 
 from __future__ import annotations
@@ -24,10 +32,11 @@ class DistMultiVector:
     (shards, views, gather/scatter) and no operators.
     """
 
-    __slots__ = ("partition", "comm", "shards", "_base")
+    __slots__ = ("partition", "comm", "shards", "_base", "_stack")
 
     def __init__(self, partition: Partition, comm: SimComm,
-                 shards: list[np.ndarray], _base: "DistMultiVector | None" = None):
+                 shards: list[np.ndarray], _base: "DistMultiVector | None" = None,
+                 _stack: np.ndarray | None = None):
         if len(shards) != partition.ranks:
             raise ShapeError(
                 f"need {partition.ranks} shards, got {len(shards)}")
@@ -41,13 +50,20 @@ class DistMultiVector:
         self.comm = comm
         self.shards = shards
         self._base = _base  # keeps the owning vector alive for views
+        # (ranks, rows, k) array aliasing the shards, or None (ragged
+        # partitions, or shards supplied directly by the caller).
+        self._stack = _stack
 
     # ------------------------------------------------------------------
     # constructors
     # ------------------------------------------------------------------
     @classmethod
     def zeros(cls, partition: Partition, comm: SimComm, k: int) -> "DistMultiVector":
-        shards = [np.zeros((partition.local_count(r), k)) for r in range(partition.ranks)]
+        if partition.is_uniform:
+            base = np.zeros((partition.ranks, partition.local_count(0), k))
+            return cls(partition, comm, list(base), _stack=base)
+        shards = [np.zeros((partition.local_count(r), k))
+                  for r in range(partition.ranks)]
         return cls(partition, comm, shards)
 
     @classmethod
@@ -61,6 +77,10 @@ class DistMultiVector:
             raise ShapeError(
                 f"array has {arr.shape[0]} rows, partition expects "
                 f"{partition.n_global}")
+        if partition.is_uniform:
+            base = np.array(arr, dtype=np.float64, copy=True).reshape(
+                partition.ranks, partition.local_count(0), arr.shape[1])
+            return cls(partition, comm, list(base), _stack=base)
         shards = [np.array(arr[partition.local_slice(r)], copy=True)
                   for r in range(partition.ranks)]
         return cls(partition, comm, shards)
@@ -80,15 +100,29 @@ class DistMultiVector:
     def shape(self) -> tuple[int, int]:
         return (self.n_global, self.n_cols)
 
+    @property
+    def stack(self) -> np.ndarray | None:
+        """``(ranks, rows, k)`` array aliasing the shards, or None.
+
+        Present only for uniform partitions whose storage was allocated by
+        the library constructors; the batched engine keys off this.
+        """
+        return self._stack
+
     def view_cols(self, cols: slice | int) -> "DistMultiVector":
         """Zero-copy view of a column range (int selects one column)."""
         if isinstance(cols, int):
             cols = slice(cols, cols + 1)
         shards = [s[:, cols] for s in self.shards]
+        stack = None if self._stack is None else self._stack[:, :, cols]
         return DistMultiVector(self.partition, self.comm, shards,
-                               _base=self._base or self)
+                               _base=self._base or self, _stack=stack)
 
     def copy(self) -> "DistMultiVector":
+        if self._stack is not None:
+            base = self._stack.copy()  # fresh contiguous (ranks, rows, k)
+            return DistMultiVector(self.partition, self.comm, list(base),
+                                   _stack=base)
         shards = [np.array(s, copy=True) for s in self.shards]
         return DistMultiVector(self.partition, self.comm, shards)
 
@@ -99,10 +133,16 @@ class DistMultiVector:
     def assign_from(self, other: "DistMultiVector") -> None:
         """Copy ``other``'s values into this vector's storage."""
         self._check_conformal(other)
+        if self._stack is not None and other._stack is not None:
+            self._stack[...] = other._stack
+            return
         for mine, theirs in zip(self.shards, other.shards):
             mine[...] = theirs
 
     def fill(self, value: float) -> None:
+        if self._stack is not None:
+            self._stack[...] = value
+            return
         for s in self.shards:
             s.fill(value)
 

@@ -117,7 +117,8 @@ class DistSparseMatrix:
         costs = []
         for rank, block in enumerate(self.local_blocks):
             out.shards[rank][:, 0] = block @ x_global
-            touched = self.partition.local_count(rank) + int(self.halo.halo_counts[rank])
+            touched = (self.partition.local_count(rank)
+                       + int(self.halo.halo_counts[rank]))
             costs.append(comm.cost.spmv(block.nnz, block.shape[0], touched))
         comm.charge_local("spmv_local", costs)
         return out

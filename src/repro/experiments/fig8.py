@@ -14,7 +14,6 @@ accumulated big panel at O(1) condition and the final error at O(eps).
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.experiments.common import ExperimentTable, fmt
 from repro.matrices.synthetic import glued_matrix

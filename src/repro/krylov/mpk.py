@@ -11,7 +11,6 @@ following the recurrence of the configured :class:`KrylovBasis`.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.distla import blas as dblas
 from repro.distla.multivector import DistMultiVector

@@ -39,12 +39,19 @@ class Simulation:
         Optional shared tracer (e.g. to accumulate across solves).
     partition:
         Optional explicit row partition; defaults to balanced block rows.
+    engine:
+        Kernel-execution engine (``"loop"`` / ``"batched"``) bound to this
+        simulation's communicator and backend; ``None`` defers to the
+        process default (:func:`repro.config.get_engine`).  Both engines
+        charge identical modeled costs, so this only changes host wall
+        time, never the simulated numbers.
     """
 
     def __init__(self, a: sp.spmatrix, ranks: int = 4,
                  machine: MachineSpec | None = None,
                  tracer: Tracer | None = None,
-                 partition: Partition | None = None) -> None:
+                 partition: Partition | None = None,
+                 engine: str | None = None) -> None:
         machine = machine if machine is not None else summit()
         n = a.shape[0]
         if partition is None:
@@ -53,10 +60,11 @@ class Simulation:
             raise ShapeError("partition inconsistent with matrix/ranks")
         self.machine = machine
         self.tracer = tracer if tracer is not None else Tracer()
-        self.comm = SimComm(machine, ranks, self.tracer)
+        self.engine = engine
+        self.comm = SimComm(machine, ranks, self.tracer, engine=engine)
         self.partition = partition
         self.matrix = DistSparseMatrix(a, partition, self.comm)
-        self.backend = DistBackend(self.comm)
+        self.backend = DistBackend(self.comm, engine=engine)
 
     # ------------------------------------------------------------------
     @property

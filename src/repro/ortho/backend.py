@@ -23,7 +23,9 @@ from abc import ABC, abstractmethod
 import numpy as np
 import scipy.linalg
 
+from repro import config
 from repro.distla import blas as dblas
+from repro.distla import engine as dengine
 from repro.distla.multivector import DistMultiVector
 from repro.dd.linalg import gram_dd, matmul_dd
 from repro.exceptions import ShapeError
@@ -205,10 +207,20 @@ def _countsketch_maps(n: int, m_rows: int, seed: int
 # ---------------------------------------------------------------------------
 
 class DistBackend(OrthoBackend):
-    """Simulated-cluster substrate over :class:`DistMultiVector`."""
+    """Simulated-cluster substrate over :class:`DistMultiVector`.
 
-    def __init__(self, comm: SimComm) -> None:
+    ``engine`` selects the kernel-execution engine (``"loop"`` /
+    ``"batched"``) for every costed BLAS call issued through this
+    backend; ``None`` defers to the communicator binding and then the
+    process default (:func:`repro.config.get_engine`).
+    """
+
+    def __init__(self, comm: SimComm, engine: str | None = None) -> None:
         self.comm = comm
+        self.engine = None if engine is None else config.validate_engine(engine)
+
+    def _engine(self) -> dengine.KernelEngine:
+        return dengine.resolve(self.engine, self.comm)
 
     # -- structure ------------------------------------------------------
     def n_cols(self, mv: DistMultiVector) -> int:
@@ -225,26 +237,26 @@ class DistBackend(OrthoBackend):
 
     # -- reductions -------------------------------------------------------
     def dot(self, x, y) -> np.ndarray:
-        return dblas.block_dot(x, y)
+        return dblas.block_dot(x, y, engine=self.engine)
 
     def fused_dots(self, pairs):
-        return dblas.block_dot_multi(pairs)
+        return dblas.block_dot_multi(pairs, engine=self.engine)
 
     def dot_dd(self, x, y):
         return dblas.dot_dd_dist(x, y)
 
     def norms(self, x) -> np.ndarray:
-        return dblas.column_norms(x)
+        return dblas.column_norms(x, engine=self.engine)
 
     # -- local updates ------------------------------------------------------
     def update(self, v, q, r) -> None:
-        dblas.block_update(v, q, r)
+        dblas.block_update(v, q, r, engine=self.engine)
 
     def trsm(self, v, r) -> None:
-        dblas.trsm_inplace(v, r)
+        dblas.trsm_inplace(v, r, engine=self.engine)
 
     def scale_cols(self, v, scales) -> None:
-        dblas.scale_columns(v, scales)
+        dblas.scale_columns(v, scales, engine=self.engine)
 
     # -- helpers over distributed storage -----------------------------------
     @staticmethod
@@ -349,16 +361,24 @@ class DistBackend(OrthoBackend):
         """
         comm = self.comm
         k = v.n_cols
-        local_qs, local_rs = [], []
-        for shard in v.shards:
-            if shard.shape[0] >= k:
-                q, r = np.linalg.qr(shard)
-            else:
-                padded = np.vstack([shard, np.zeros((k - shard.shape[0], k))])
-                q, r = np.linalg.qr(padded)
-                q = q[: shard.shape[0]]
-            local_qs.append(q)
-            local_rs.append(r)
+        stack = v.stack
+        batched = (isinstance(self._engine(), dengine.BatchedEngine)
+                   and stack is not None and stack.shape[1] >= k)
+        qstack = None
+        if batched:
+            qstack, rstack = np.linalg.qr(stack)
+            local_rs = list(rstack)
+        else:
+            local_qs, local_rs = [], []
+            for shard in v.shards:
+                if shard.shape[0] >= k:
+                    q, r = np.linalg.qr(shard)
+                else:
+                    padded = np.vstack([shard, np.zeros((k - shard.shape[0], k))])
+                    q, r = np.linalg.qr(padded)
+                    q = q[: shard.shape[0]]
+                local_qs.append(q)
+                local_rs.append(r)
         comm.charge_local(
             "dot", [self._local_qr_cost(s.shape[0], k) for s in v.shards])
 
@@ -381,8 +401,12 @@ class DistBackend(OrthoBackend):
         if depth:
             comm.tracer.add("allreduce", depth * per_level, count=1)
         _, r_final, signs = _sign_fix_qr(None, np.triu(r_final))
-        for shard, qloc, m in zip(v.shards, local_qs, coeffs):
-            shard[...] = qloc @ (m * signs[np.newaxis, :])
+        if batched:
+            mstack = np.stack(coeffs) * signs[np.newaxis, np.newaxis, :]
+            stack[...] = np.matmul(qstack, mstack)
+        else:
+            for shard, qloc, m in zip(v.shards, local_qs, coeffs):
+                shard[...] = qloc @ (m * signs[np.newaxis, :])
         comm.charge_local(
             "update", [comm.cost.gemm(s.shape[0], k, k) for s in v.shards])
         return r_final

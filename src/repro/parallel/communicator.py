@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import config
 from repro.exceptions import CommunicatorError
 from repro.parallel.costmodel import CostModel
 from repro.parallel.machine import MachineSpec
@@ -34,16 +35,22 @@ class SimComm:
         Number of ranks.
     tracer:
         Modeled-time accumulator; a fresh one is created when omitted.
+    engine:
+        Optional kernel-execution engine name (``"loop"`` / ``"batched"``)
+        binding every costed BLAS call over this communicator; ``None``
+        defers to :func:`repro.config.get_engine`.
     """
 
     def __init__(self, machine: MachineSpec, size: int,
-                 tracer: Tracer | None = None) -> None:
+                 tracer: Tracer | None = None,
+                 engine: str | None = None) -> None:
         if size < 1:
             raise CommunicatorError(f"communicator size must be >= 1, got {size}")
         self.machine = machine
         self.size = int(size)
         self.tracer = tracer if tracer is not None else Tracer()
         self.cost = CostModel(machine)
+        self.engine = None if engine is None else config.validate_engine(engine)
 
     # ------------------------------------------------------------------
     def _check_contributions(self, shards: list[np.ndarray]) -> None:
@@ -62,6 +69,27 @@ class SimComm:
                 merged.append(items[-1])
             items = merged
         return items[0]
+
+    @staticmethod
+    def _tree_sum_stacked(stack: np.ndarray) -> np.ndarray:
+        """Pairwise tree sum over axis 0 of a ``(ranks, ...)`` stack.
+
+        Vectorized twin of :meth:`_tree_sum`: each level folds the lower
+        half onto the upper half with ONE elementwise add, pairing
+        ``i + half`` with ``i`` exactly like the list version — so the
+        floating-point result is bit-identical to the loop engine's.
+        """
+        work = np.asarray(stack, dtype=np.float64)
+        if work.shape[0] == 1:
+            return np.array(work[0], copy=True)
+        while work.shape[0] > 1:
+            m = work.shape[0]
+            half = m // 2
+            merged = work[:half] + work[half:2 * half]
+            if m % 2:
+                merged = np.concatenate([merged, work[2 * half:]], axis=0)
+            work = merged
+        return work[0]
 
     # ------------------------------------------------------------------
     def allreduce_sum(self, shards: list[np.ndarray]) -> np.ndarray:
@@ -104,6 +132,40 @@ class SimComm:
         for shards in shard_groups:
             self._check_contributions(shards)
             red = self._tree_sum(shards)
+            payload += float(red.nbytes)
+            results.append(red)
+        self.tracer.add("allreduce", self.cost.allreduce(payload, self.size))
+        return results
+
+    # -- stacked variants (batched engine) ------------------------------
+    def _check_stack(self, stack: np.ndarray) -> None:
+        if stack.shape[0] != self.size:
+            raise CommunicatorError(
+                f"expected a ({self.size}, ...) contribution stack, got "
+                f"shape {stack.shape}")
+
+    def allreduce_sum_stacked(self, stack: np.ndarray) -> np.ndarray:
+        """:meth:`allreduce_sum` over a ``(ranks, ...)`` contribution stack.
+
+        Identical reduction tree, identical charged cost — just one
+        vectorized add per tree level instead of ``ranks`` Python calls.
+        """
+        self._check_stack(stack)
+        result = self._tree_sum_stacked(stack)
+        payload = float(result.nbytes)
+        self.tracer.add("allreduce", self.cost.allreduce(payload, self.size))
+        return result
+
+    def fused_allreduce_sum_stacked(self, stacks: list[np.ndarray]
+                                    ) -> list[np.ndarray]:
+        """:meth:`fused_allreduce_sum` over contribution stacks."""
+        if not stacks:
+            return []
+        results = []
+        payload = 0.0
+        for stack in stacks:
+            self._check_stack(stack)
+            red = self._tree_sum_stacked(stack)
             payload += float(red.nbytes)
             results.append(red)
         self.tracer.add("allreduce", self.cost.allreduce(payload, self.size))

@@ -69,6 +69,17 @@ class Partition:
         """Rows on the most loaded rank — what concurrent kernels cost."""
         return int(self.counts.max())
 
+    @property
+    def is_uniform(self) -> bool:
+        """True when every rank owns the same number of rows.
+
+        Uniform partitions are what the batched execution engine can stack
+        into one contiguous ``(ranks, rows, k)`` array; ragged ones take
+        the per-rank loop fallback.
+        """
+        counts = self.counts
+        return bool((counts == counts[0]).all())
+
     def owner(self, row: int) -> int:
         """Rank owning global row ``row``."""
         if not 0 <= row < self.n_global:

@@ -8,7 +8,6 @@ preconditioner (block Jacobi with Gauss-Seidel in each block [2])".
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.distla.multivector import DistMultiVector
 from repro.distla.spmatrix import DistSparseMatrix

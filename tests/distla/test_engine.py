@@ -1,0 +1,229 @@
+"""Loop-vs-batched engine equivalence: results, costs, fallbacks.
+
+The batched engine must be a pure execution-strategy change: on every
+partition shape (uniform and ragged) it has to produce results matching
+the loop engine at FP64 tolerance — bitwise for elementwise kernels and
+the reduction tree — and charge *identical* modeled costs, so that paper
+artifacts regenerated under either engine are the same numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import config
+from repro.distla import blas
+from repro.distla.engine import BatchedEngine, LoopEngine, get_engine, resolve
+from repro.distla.multivector import DistMultiVector
+from repro.ortho.backend import DistBackend
+from repro.parallel.communicator import SimComm
+from repro.parallel.machine import generic_cpu
+from repro.parallel.partition import Partition
+from repro.parallel.tracing import Tracer
+
+N_UNIFORM = 96   # divisible by 8 -> uniform partition, stacked storage
+N_RAGGED = 101   # prime-ish -> ragged partition, loop fallback
+RANKS = 8
+KQ, KV = 6, 3
+
+
+def make_comm():
+    return SimComm(generic_cpu(), RANKS, Tracer())
+
+
+def apply_ops(engine: str, n: int):
+    """Run one of every costed BLAS op; return (results, tracer)."""
+    part = Partition(n, RANKS)
+    comm = make_comm()
+    rng = np.random.default_rng(7)
+    q = DistMultiVector.from_global(rng.standard_normal((n, KQ)), part, comm)
+    v = DistMultiVector.from_global(rng.standard_normal((n, KV)), part, comm)
+    out = DistMultiVector.zeros(part, comm, KV)
+    small = DistMultiVector.zeros(part, comm, 1)
+    r_proj = rng.standard_normal((KQ, KV))
+    r_tri = np.triu(rng.standard_normal((KV, KV))) + 3.0 * np.eye(KV)
+    coeffs = rng.standard_normal((KV, 1))
+    with config.engine_scope(engine):
+        results = [
+            blas.block_dot(q, v),
+            *blas.block_dot_multi([(q, v), (v, v)]),
+            blas.column_norms(q),
+        ]
+        blas.block_update(v, q, r_proj)
+        blas.trsm_inplace(v, r_tri)
+        blas.scale_columns(v, np.array([2.0, -1.0, 0.5]))
+        blas.lincomb(out, [(2.0, v), (-1.0, v)])
+        blas.copy_into(out, v)
+        blas.matvec_small(v, coeffs, small)
+        results += [v.to_global(), out.to_global(), small.to_global()]
+    return results, comm.tracer
+
+
+@pytest.mark.parametrize("n", [N_UNIFORM, N_RAGGED],
+                         ids=["uniform", "ragged"])
+class TestEngineEquivalence:
+    def test_results_match(self, n):
+        loop, _ = apply_ops("loop", n)
+        batched, _ = apply_ops("batched", n)
+        for got, want in zip(batched, loop):
+            np.testing.assert_allclose(got, want, rtol=1e-13, atol=1e-15)
+
+    def test_charged_costs_identical(self, n):
+        _, t_loop = apply_ops("loop", n)
+        _, t_batched = apply_ops("batched", n)
+        assert t_batched.clock == t_loop.clock
+        assert dict(t_batched.by_kernel) == dict(t_loop.by_kernel)
+        assert dict(t_batched.counts) == dict(t_loop.counts)
+
+    def test_reduction_tree_bitwise(self, n):
+        """Tree-sum folds identically whether vectorized or per-rank."""
+        part = Partition(n, RANKS)
+        comm = make_comm()
+        rng = np.random.default_rng(11)
+        x = DistMultiVector.from_global(rng.standard_normal((n, KQ)),
+                                        part, comm)
+        with config.engine_scope("loop"):
+            ref = blas.block_dot(x, x)
+        with config.engine_scope("batched"):
+            got = blas.block_dot(x, x)
+        np.testing.assert_array_equal(got, ref)
+
+
+class TestStackedStorage:
+    def test_uniform_constructors_stack(self):
+        part = Partition(N_UNIFORM, RANKS)
+        comm = make_comm()
+        mv = DistMultiVector.zeros(part, comm, KV)
+        assert mv.stack is not None
+        assert mv.stack.shape == (RANKS, N_UNIFORM // RANKS, KV)
+
+    def test_ragged_has_no_stack(self):
+        part = Partition(N_RAGGED, RANKS)
+        comm = make_comm()
+        assert DistMultiVector.zeros(part, comm, KV).stack is None
+
+    def test_shards_alias_stack(self):
+        part = Partition(N_UNIFORM, RANKS)
+        comm = make_comm()
+        mv = DistMultiVector.zeros(part, comm, KV)
+        mv.shards[3][0, 1] = 42.0
+        assert mv.stack[3, 0, 1] == 42.0
+        mv.stack[5, 1, 2] = -1.0
+        assert mv.shards[5][1, 2] == -1.0
+
+    def test_column_views_keep_stack(self):
+        part = Partition(N_UNIFORM, RANKS)
+        comm = make_comm()
+        mv = DistMultiVector.zeros(part, comm, KV)
+        view = mv.view_cols(slice(1, 3))
+        assert view.stack is not None
+        view.stack[...] = 3.0
+        assert float(mv.shards[0][0, 1]) == 3.0
+        assert float(mv.shards[0][0, 0]) == 0.0
+
+    def test_caller_supplied_shards_fall_back(self):
+        part = Partition(N_UNIFORM, RANKS)
+        comm = make_comm()
+        shards = [np.zeros((part.local_count(r), KV)) for r in range(RANKS)]
+        mv = DistMultiVector(part, comm, shards)
+        assert mv.stack is None
+        # batched engine must still work (loop fallback), with equal costs
+        with config.engine_scope("batched"):
+            blas.scale_columns(mv, np.ones(KV))
+        assert comm.tracer.clock > 0
+
+    def test_mixed_stacked_unstacked_operands(self):
+        part = Partition(N_UNIFORM, RANKS)
+        comm = make_comm()
+        rng = np.random.default_rng(3)
+        arr = rng.standard_normal((N_UNIFORM, KV))
+        stacked = DistMultiVector.from_global(arr, part, comm)
+        unstacked = DistMultiVector(
+            part, comm, [np.array(arr[part.local_slice(r)], copy=True)
+                         for r in range(RANKS)])
+        with config.engine_scope("batched"):
+            got = blas.block_dot(stacked, unstacked)
+        np.testing.assert_allclose(got, arr.T @ arr, rtol=1e-13)
+
+
+class TestEngineSelection:
+    def test_config_roundtrip(self):
+        prev = config.set_engine("loop")
+        try:
+            assert config.get_engine() == "loop"
+            assert isinstance(resolve(None, None), LoopEngine)
+        finally:
+            config.set_engine(prev)
+
+    def test_set_engine_returns_raw_pin(self, monkeypatch):
+        """set_engine round-trips the *pin*, not the resolved default, so
+        restore does not freeze the process against REPRO_ENGINE."""
+        monkeypatch.setattr(config, "_active_engine", None)
+        prev = config.set_engine("loop")
+        assert prev is None
+        config.set_engine(prev)  # restore -> unpinned again
+        monkeypatch.setenv("REPRO_ENGINE", "loop")
+        assert config.get_engine() == "loop"
+
+    def test_engine_scope_restores(self):
+        before = config.get_engine()
+        with config.engine_scope("loop"):
+            assert config.get_engine() == "loop"
+        assert config.get_engine() == before
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            config.set_engine("warp-drive")
+        with pytest.raises(ValueError):
+            get_engine("warp-drive")
+
+    def test_binding_typo_fails_at_construction(self):
+        with pytest.raises(ValueError, match="bacthed"):
+            SimComm(generic_cpu(), RANKS, Tracer(), engine="bacthed")
+        with pytest.raises(ValueError, match="bacthed"):
+            DistBackend(make_comm(), engine="bacthed")
+
+    def test_env_var_reread_when_unpinned(self, monkeypatch):
+        monkeypatch.setattr(config, "_active_engine", None)
+        monkeypatch.setenv("REPRO_ENGINE", "loop")
+        assert config.get_engine() == "loop"
+        monkeypatch.setenv("REPRO_ENGINE", "batched")
+        assert config.get_engine() == "batched"
+
+    def test_comm_binding_wins_over_config(self):
+        comm = SimComm(generic_cpu(), RANKS, Tracer(), engine="loop")
+        with config.engine_scope("batched"):
+            assert isinstance(resolve(None, comm), LoopEngine)
+
+    def test_explicit_argument_wins_over_comm(self):
+        comm = SimComm(generic_cpu(), RANKS, Tracer(), engine="loop")
+        assert isinstance(resolve("batched", comm), BatchedEngine)
+
+    def test_dist_backend_threads_engine(self):
+        part = Partition(N_UNIFORM, RANKS)
+        comm = make_comm()
+        rng = np.random.default_rng(5)
+        x = DistMultiVector.from_global(
+            rng.standard_normal((N_UNIFORM, KQ)), part, comm)
+        ref = x.to_global().T @ x.to_global()
+        for engine in ("loop", "batched"):
+            backend = DistBackend(comm, engine=engine)
+            np.testing.assert_allclose(backend.dot(x, x), ref, rtol=1e-13)
+
+    def test_stream_cutoff_preserves_results(self):
+        """Above the cache cutoff the batched engine falls back per-rank;
+        results must not depend on where the cutoff sits."""
+        part = Partition(N_UNIFORM, RANKS)
+        comm = make_comm()
+        rng = np.random.default_rng(9)
+        v = DistMultiVector.from_global(
+            rng.standard_normal((N_UNIFORM, KV)), part, comm)
+        out = DistMultiVector.zeros(part, comm, KV)
+        eng = BatchedEngine()
+        tiny = BatchedEngine()
+        tiny.stream_elems_max = 0  # force the loop fallback
+        blas.lincomb(out, [(1.0, v), (0.5, v)], engine=eng)
+        ref = out.to_global().copy()
+        blas.lincomb(out, [(1.0, v), (0.5, v)], engine=tiny)
+        np.testing.assert_array_equal(out.to_global(), ref)

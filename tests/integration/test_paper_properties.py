@@ -25,6 +25,9 @@ from repro.ortho.bcgs_pip import BCGSPIP2Scheme
 from repro.ortho.two_stage import TwoStageScheme
 from repro.parallel.machine import generic_cpu, summit
 
+#: Live end-to-end solves; CI's quick lane deselects them with -m "not slow".
+pytestmark = pytest.mark.slow
+
 
 def one_cycle(scheme, nx=16, ranks=6, m=20, s=5):
     sim = Simulation(laplace2d(nx), ranks=ranks, machine=summit())

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+import scipy.sparse as sp
 
 from repro.exceptions import ConfigurationError
 from repro.krylov.gmres import gmres
@@ -83,7 +84,7 @@ class TestConvergence:
 
 class TestPreconditioned:
     def test_jacobi_reduces_iterations(self):
-        a = laplace2d(14) + 5.0 * __import__("scipy.sparse", fromlist=["eye"]).eye(14 * 14)
+        a = laplace2d(14) + 5.0 * sp.eye(14 * 14)
         sim1 = make_sim(a)
         sim2 = make_sim(a)
         b = sim1.ones_solution_rhs()

@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.distla.multivector import DistMultiVector
 from repro.exceptions import ConfigurationError
 from repro.krylov.basis import ChebyshevBasis, MonomialBasis, NewtonBasis
 from repro.krylov.mpk import MatrixPowersKernel, PreconditionedOperator

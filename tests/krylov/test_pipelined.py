@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.krylov.gmres import gmres
 from repro.krylov.pipelined import pipelined_gmres

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import scipy.sparse.linalg as spla
 
 from repro.matrices.elasticity import elasticity3d

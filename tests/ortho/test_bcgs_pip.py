@@ -8,7 +8,8 @@ import pytest
 from repro.config import EPS
 from repro.exceptions import CholeskyBreakdownError
 from repro.matrices.synthetic import glued_matrix, logscaled_matrix
-from repro.ortho.analysis import condition_number, orthogonality_error, representation_error
+from repro.ortho.analysis import (condition_number, orthogonality_error,
+                                  representation_error)
 from repro.ortho.backend import NumpyBackend
 from repro.ortho.base import BlockDriver
 from repro.ortho.bcgs_pip import BCGSPIP2Scheme, BCGSPIPScheme, bcgs_pip_panel

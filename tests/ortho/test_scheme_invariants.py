@@ -13,7 +13,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.config import EPS
 from repro.matrices.synthetic import logscaled_matrix
 from repro.ortho.analysis import orthogonality_error, representation_error
 from repro.ortho.base import BlockDriver

@@ -1,0 +1,72 @@
+"""Sanity checks of the CI pipeline configuration itself.
+
+Equivalent-of-actionlint guard: the workflow must stay parseable, every
+job must have steps, and the commands CI runs must reference files that
+exist — so a rename cannot silently turn CI green-by-vacuity.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+WORKFLOW = REPO / ".github" / "workflows" / "ci.yml"
+
+
+class TestWorkflow:
+    def test_workflow_exists(self):
+        assert WORKFLOW.is_file()
+
+    def test_workflow_structure(self):
+        yaml = pytest.importorskip("yaml")
+        doc = yaml.safe_load(WORKFLOW.read_text())
+        jobs = doc["jobs"]
+        assert {"lint", "tier1", "bench-smoke"} <= set(jobs)
+        for name, spec in jobs.items():
+            assert spec.get("steps"), f"job {name} has no steps"
+            for step in spec["steps"]:
+                assert "uses" in step or "run" in step, (name, step)
+        # tier-1 command matches ROADMAP.md's verify line
+        runs = "\n".join(step.get("run", "")
+                         for step in jobs["tier1"]["steps"])
+        assert "PYTHONPATH=src python -m pytest -x -q" in runs
+
+    def test_referenced_files_exist(self):
+        text = WORKFLOW.read_text()
+        for ref in ("scripts/compare_bench.py",
+                    "benchmarks/bench_kernels.py",
+                    "benchmarks/BENCH_kernels.json"):
+            assert ref in text, f"{ref} not exercised by CI"
+            assert (REPO / ref).exists(), f"{ref} missing from repo"
+
+
+class TestCommittedBaseline:
+    def test_baseline_artifact_loads(self):
+        from repro.bench.artifacts import load_artifact
+        art = load_artifact(REPO / "benchmarks" / "BENCH_kernels.json")
+        assert art.name == "kernels"
+
+    def test_baseline_records_batched_speedup(self):
+        """The committed artifact proves the acceptance claim: >=1.5x on
+        block_dot and block_axpy at >=16 simulated ranks."""
+        from repro.bench.artifacts import load_artifact
+        art = load_artifact(REPO / "benchmarks" / "BENCH_kernels.json")
+        for name in ("test_block_dot", "test_block_axpy"):
+            assert art.speedup(f"{name}[loop]", f"{name}[batched]") >= 1.5
+            assert art.record(f"{name}[batched]").extra["ranks"] >= 16
+
+
+class TestPyproject:
+    def test_markers_registered(self):
+        tomllib = pytest.importorskip("tomllib")
+        doc = tomllib.loads((REPO / "pyproject.toml").read_text())
+        markers = doc["tool"]["pytest"]["ini_options"]["markers"]
+        names = {m.split(":")[0] for m in markers}
+        assert {"slow", "bench"} <= names
+
+    def test_ruff_configured(self):
+        tomllib = pytest.importorskip("tomllib")
+        doc = tomllib.loads((REPO / "pyproject.toml").read_text())
+        assert "ruff" in doc["tool"]
