@@ -42,11 +42,16 @@ def check():
     return _check
 
 
+#: Modules whose artifact name differs from the ``bench_<name>`` stem.
+ARTIFACT_ALIASES = {"sketch_kernels": "sketch"}
+
+
 def _artifact_name(fullname: str) -> str:
     """``benchmarks/bench_kernels.py::test_x[a]`` -> ``kernels``."""
     module = fullname.split("::", 1)[0]
     stem = Path(module).stem
-    return stem[len("bench_"):] if stem.startswith("bench_") else stem
+    name = stem[len("bench_"):] if stem.startswith("bench_") else stem
+    return ARTIFACT_ALIASES.get(name, name)
 
 
 def pytest_sessionfinish(session, exitstatus):

@@ -5,7 +5,11 @@ Two checks, combinable in one invocation:
 
 * regression gate (default when two artifacts are given): every benchmark
   present in both files must not be slower than ``baseline * (1 + t)``
-  with ``t`` the ``--threshold`` (default 0.20, i.e. 20%);
+  with ``t`` the ``--threshold`` (default 0.20, i.e. 20%).  Benchmarks
+  present in only one artifact are reported as ``new`` / ``removed``
+  (informational, never a failure); only the degenerate case of *zero*
+  shared names fails, because a rename must not turn the gate green by
+  vacuity — pass ``--allow-disjoint`` for intentional wholesale renames;
 * speedup gate (``--check-speedup NAME``): within the *current* artifact,
   ``NAME[batched]`` must be at least ``--min-speedup`` (default 1.5x)
   faster than ``NAME[loop]`` — the engine claim this repo's CI enforces
@@ -39,6 +43,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--threshold", type=float, default=0.20,
                         help="allowed fractional wall-time regression "
                         "(default: 0.20)")
+    parser.add_argument("--allow-disjoint", action="store_true",
+                        help="do not fail when baseline and current share "
+                        "no benchmark names (intentional wholesale rename)")
     parser.add_argument("--check-speedup", action="append", default=[],
                         metavar="NAME",
                         help="require NAME[batched] >= --min-speedup x faster "
@@ -52,11 +59,20 @@ def main(argv: list[str] | None = None) -> int:
     failed = False
 
     if args.current:
-        shared = set(baseline.names()) & set(current.names())
-        if baseline.benchmarks and not shared:
+        base_names = set(baseline.names())
+        cur_names = set(current.names())
+        shared = base_names & cur_names
+        # One-sided entries are expected churn, not an error: report them
+        # so a reviewer sees coverage changes, gate only the shared set.
+        for name in sorted(cur_names - base_names):
+            print(f"new benchmark (not gated): {name}")
+        for name in sorted(base_names - cur_names):
+            print(f"removed benchmark: {name}")
+        if baseline.benchmarks and not shared and not args.allow_disjoint:
             # A rename must not turn the gate green by vacuity.
             print("GATE VACUOUS: no benchmark names shared between "
-                  f"{args.baseline} and {args.current}")
+                  f"{args.baseline} and {args.current} "
+                  "(pass --allow-disjoint if intentional)")
             failed = True
         regressions = compare_artifacts(baseline, current,
                                         threshold=args.threshold)

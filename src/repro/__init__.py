@@ -22,7 +22,7 @@ See ``examples/quickstart.py`` and README.md.
 """
 
 from repro._version import __version__
-from repro import config, dd, distla, matrices, ortho, parallel, precond
+from repro import config, dd, distla, matrices, ortho, parallel, precond, sketch
 from repro.exceptions import (
     CholeskyBreakdownError,
     ConfigurationError,
@@ -38,10 +38,14 @@ from repro.ortho import (
     CholQR2,
     HouseholderQR,
     MixedPrecisionCholQR,
+    RBCGSScheme,
     ShiftedCholQR,
     SketchedCholQR,
+    SketchedTwoStageScheme,
     TSQRFactor,
     TwoStageScheme,
+    get_intra_qr,
+    get_scheme,
 )
 from repro.krylov import (Simulation, adaptive_sstep_gmres, gmres,
                           pipelined_gmres, sstep_gmres)
@@ -55,6 +59,7 @@ __all__ = [
     "ortho",
     "parallel",
     "precond",
+    "sketch",
     "ReproError",
     "ConfigurationError",
     "NumericalError",
@@ -64,6 +69,10 @@ __all__ = [
     "BCGSPIPScheme",
     "BCGSPIP2Scheme",
     "TwoStageScheme",
+    "RBCGSScheme",
+    "SketchedTwoStageScheme",
+    "get_intra_qr",
+    "get_scheme",
     "CholQR",
     "CholQR2",
     "ShiftedCholQR",

@@ -136,6 +136,45 @@ class LoopEngine(KernelEngine):
                  for vs in v.shards]
         comm.charge_local("update", costs)
 
+    # -- sketching --------------------------------------------------------
+    def _sketch_partials(self, v, op) -> list[np.ndarray]:
+        """Per-rank contributions ``S[:, rows_r] @ V_r`` + local charge.
+
+        ``op`` is duck-typed (a :class:`repro.sketch.operators`
+        ``SketchOperator``): ``partial(shard, row_offset)`` produces one
+        shard's contribution, ``local_cost`` its modeled seconds.
+        """
+        comm = v.comm
+        offsets = v.partition.offsets
+        partials = [op.partial(shard, int(offsets[r]))
+                    for r, shard in enumerate(v.shards)]
+        comm.charge_local(
+            "dot", [op.local_cost(comm.cost, s.shape[0], v.n_cols)
+                    for s in v.shards])
+        return partials
+
+    def sketch_apply(self, v, op) -> np.ndarray:
+        """Global sketch ``S @ V``: shard-local partials, one allreduce."""
+        return v.comm.allreduce_sum(self._sketch_partials(v, op))
+
+    def fused_dot_sketch(self, pairs, v, op
+                         ) -> tuple[list[np.ndarray], np.ndarray]:
+        """Several ``X.T @ Y`` plus one sketch ``S @ V`` in ONE collective.
+
+        The randomized schemes' analogue of BCGS-PIP fusion: projection
+        coefficients and the panel sketch travel in a single message.
+        """
+        comm = v.comm
+        groups = []
+        for x, y in pairs:
+            groups.append([xs.T @ ys for xs, ys in zip(x.shards, y.shards)])
+            comm.charge_local(
+                "dot", [comm.cost.gemm(xs.shape[0], x.n_cols, y.n_cols)
+                        for xs in x.shards])
+        groups.append(self._sketch_partials(v, op))
+        results = comm.fused_allreduce_sum(groups)
+        return results[:-1], results[-1]
+
 
 # ---------------------------------------------------------------------------
 # batched engine
@@ -280,6 +319,44 @@ class BatchedEngine(LoopEngine):
         sout[...] = np.matmul(sv, coeffs)
         comm.charge_uniform(
             "update", comm.cost.gemm(sv.shape[1], v.n_cols, out.n_cols))
+
+    # -- sketching --------------------------------------------------------
+    def _sketch_partials_stacked(self, v, op) -> "np.ndarray | None":
+        """``(ranks, m, k)`` contribution stack, or None to fall back."""
+        stack = v.stack
+        if stack is None:
+            return None
+        comm = v.comm
+        partials = op.partial_stack(stack)
+        comm.charge_uniform(
+            "dot", op.local_cost(comm.cost, stack.shape[1], v.n_cols))
+        return partials
+
+    def sketch_apply(self, v, op) -> np.ndarray:
+        partials = self._sketch_partials_stacked(v, op)
+        if partials is None:
+            return super().sketch_apply(v, op)
+        return v.comm.allreduce_sum_stacked(partials)
+
+    def fused_dot_sketch(self, pairs, v, op
+                         ) -> tuple[list[np.ndarray], np.ndarray]:
+        stacks = []
+        for x, y in pairs:
+            s = self._stacks(x, y)
+            if s is None:
+                return super().fused_dot_sketch(pairs, v, op)
+            stacks.append(s)
+        if v.stack is None:
+            return super().fused_dot_sketch(pairs, v, op)
+        comm = v.comm
+        groups = []
+        for (xs, ys), (x, y) in zip(stacks, pairs):
+            groups.append(np.matmul(xs.transpose(0, 2, 1), ys))
+            comm.charge_uniform(
+                "dot", comm.cost.gemm(xs.shape[1], x.n_cols, y.n_cols))
+        groups.append(self._sketch_partials_stacked(v, op))
+        results = comm.fused_allreduce_sum_stacked(groups)
+        return results[:-1], results[-1]
 
 
 # ---------------------------------------------------------------------------

@@ -17,6 +17,7 @@ from repro.experiments import (
     fig9,
     fig10_12,
     fig13,
+    sketch_stability,
     table2,
     table3,
     table4,
@@ -35,6 +36,7 @@ _DISPATCH = {
     "table4": table4.main,
     "fig13": fig13.main,
     "ablations": ablations.main,
+    "sketch": sketch_stability.main,
 }
 
 
@@ -56,6 +58,7 @@ def run_all_quick() -> None:
     print(ablations.run_step_size_cliff(n=5000).render(), "\n")
     print(ablations.run_intra_kernels(n=20000).render(), "\n")
     print(ablations.run_step_strategies(nx=32).render(), "\n")
+    print(sketch_stability.run(n=2000).render(), "\n")
 
 
 def main(argv: list | None = None) -> int:

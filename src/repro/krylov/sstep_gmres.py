@@ -130,7 +130,7 @@ def sstep_gmres(sim: Simulation, b: np.ndarray,
             dblas.copy_into(basis_mv.view_cols(0), r_vec)
             backend.scale_cols(basis_mv.view_cols(0), np.array([1.0 / gamma]))
         scheme.begin_cycle(backend, basis_mv, r_factor, observer=observer,
-                           w=w_factor)
+                           w=w_factor, cycle=restarts)
         # State of each MPK start column at the time it was consumed:
         # "raw" (never orthogonalized), "final" (fully orthogonalized) or
         # "pre" (two-stage stage-1 only); drives the Hessenberg recovery.

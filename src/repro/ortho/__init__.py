@@ -42,6 +42,13 @@ from repro.ortho.bcgs_pip import (
     bcgs_pip_panel,
 )
 from repro.ortho.two_stage import TwoStageScheme
+from repro.ortho.randomized import RBCGSScheme, SketchedTwoStageScheme
+from repro.ortho.registry import (
+    get_intra_qr,
+    get_scheme,
+    list_intra_qr,
+    list_schemes,
+)
 from repro.ortho.analysis import (
     c1_bound,
     condition_number,
@@ -76,6 +83,12 @@ __all__ = [
     "BCGSPIP2Scheme",
     "bcgs_pip_panel",
     "TwoStageScheme",
+    "RBCGSScheme",
+    "SketchedTwoStageScheme",
+    "get_intra_qr",
+    "get_scheme",
+    "list_intra_qr",
+    "list_schemes",
     "orthogonality_error",
     "condition_number",
     "representation_error",

@@ -30,6 +30,8 @@ from repro.distla.multivector import DistMultiVector
 from repro.dd.linalg import gram_dd, matmul_dd
 from repro.exceptions import ShapeError
 from repro.parallel.communicator import SimComm
+from repro.sketch.distributed import sketch_multivector
+from repro.sketch.operators import SparseSignSketch
 
 
 class OrthoBackend(ABC):
@@ -98,14 +100,34 @@ class OrthoBackend(ABC):
     def tsqr(self, v) -> np.ndarray:
         """Communication-avoiding tall-skinny QR (binary tree of QRs)."""
 
-    def sketch_dot(self, v, m_rows: int, seed: int) -> np.ndarray:
-        """CountSketch product ``S @ V`` with ``S`` an ``m_rows x n``
-        sketching operator derived deterministically from ``seed``.
+    def sketch(self, v, op) -> np.ndarray:
+        """Sketch ``S @ V`` with a :class:`repro.sketch.SketchOperator`.
 
-        One synchronization on the distributed backend (partial sketches
-        allreduce).  Used by the randomized CholQR the paper lists as
-        future work (Section IX / ref. [3])."""
-        raise NotImplementedError(f"{type(self).__name__} has no sketch_dot")
+        One synchronization on the distributed backend (shard-local
+        partials allreduce, see :mod:`repro.sketch.distributed`); the
+        NumPy backend applies the operator in place.  Both substrates
+        draw the *same* operator, so results agree to reduction-order
+        rounding."""
+        raise NotImplementedError(f"{type(self).__name__} has no sketch")
+
+    def fused_dots_sketch(self, pairs: list[tuple], v, op
+                          ) -> tuple[list[np.ndarray], np.ndarray]:
+        """Several ``X.T @ Y`` plus one sketch ``S @ V`` in ONE
+        synchronization — the randomized schemes' fusion of projection
+        coefficients and panel sketch into a single collective."""
+        raise NotImplementedError(
+            f"{type(self).__name__} has no fused_dots_sketch")
+
+    def sketch_dot(self, v, m_rows: int, seed: int) -> np.ndarray:
+        """CountSketch product ``S @ V`` (legacy signature).
+
+        Thin shim over the :mod:`repro.sketch` subsystem kept for
+        callers predating it: builds the deterministic sparse-sign
+        operator for ``(n, m_rows, seed)`` and delegates to
+        :meth:`sketch`.  One synchronization on the distributed
+        backend, as before."""
+        op = SparseSignSketch(self.n_rows_global(v), m_rows, seed=seed)
+        return self.sketch(v, op)
 
     # -- accounting hooks ---------------------------------------------------
     def host_flops(self, flops: float) -> None:
@@ -181,25 +203,11 @@ class NumpyBackend(OrthoBackend):
         # A tree with a single leaf: same as Householder QR.
         return self.householder_qr(v)
 
-    def sketch_dot(self, v, m_rows: int, seed: int) -> np.ndarray:
-        buckets, signs = _countsketch_maps(v.shape[0], m_rows, seed)
-        out = np.zeros((m_rows, v.shape[1]))
-        np.add.at(out, buckets, v * signs[:, np.newaxis])
-        return out
+    def sketch(self, v, op) -> np.ndarray:
+        return op.apply(v)
 
-
-def _countsketch_maps(n: int, m_rows: int, seed: int
-                      ) -> tuple[np.ndarray, np.ndarray]:
-    """Deterministic CountSketch hash maps shared by both backends.
-
-    Row ``i`` of V lands in bucket ``buckets[i]`` with sign ``signs[i]``;
-    generating from (seed, n, m_rows) makes the NumPy and distributed
-    backends produce bit-identical sketches.
-    """
-    rng = np.random.default_rng(seed ^ (n * 2654435761 % 2**31) ^ m_rows)
-    buckets = rng.integers(0, m_rows, size=n)
-    signs = rng.choice(np.array([-1.0, 1.0]), size=n)
-    return buckets, signs
+    def fused_dots_sketch(self, pairs, v, op):
+        return [x.T @ y for x, y in pairs], op.apply(v)
 
 
 # ---------------------------------------------------------------------------
@@ -411,23 +419,11 @@ class DistBackend(OrthoBackend):
             "update", [comm.cost.gemm(s.shape[0], k, k) for s in v.shards])
         return r_final
 
-    def sketch_dot(self, v: DistMultiVector, m_rows: int,
-                   seed: int) -> np.ndarray:
-        comm = self.comm
-        n = v.n_global
-        k = v.n_cols
-        buckets, signs = _countsketch_maps(n, m_rows, seed)
-        partials = []
-        for rank, shard in enumerate(v.shards):
-            sl = v.partition.local_slice(rank)
-            out = np.zeros((m_rows, k))
-            np.add.at(out, buckets[sl], shard * signs[sl, np.newaxis])
-            partials.append(out)
-        # streaming cost: read the shard once, scatter-add into the sketch
-        comm.charge_local(
-            "dot", [comm.cost.blas1(s.size, n_streams=1, writes=1)
-                    for s in v.shards])
-        return comm.allreduce_sum(partials)
+    def sketch(self, v: DistMultiVector, op) -> np.ndarray:
+        return sketch_multivector(v, op, engine=self.engine)
+
+    def fused_dots_sketch(self, pairs, v: DistMultiVector, op):
+        return self._engine().fused_dot_sketch(pairs, v, op)
 
     # -- accounting ------------------------------------------------------
     def host_flops(self, flops: float) -> None:

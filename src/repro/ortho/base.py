@@ -66,8 +66,18 @@ class IntraBlockQR(ABC):
     name: str = "abstract"
 
     @abstractmethod
-    def factor(self, backend: OrthoBackend, v) -> np.ndarray:
-        """Orthonormalize ``v``'s columns in place; return upper-tri R."""
+    def factor(self, backend: OrthoBackend, v, *, cycle: int = 0,
+               panel: int = 0) -> np.ndarray:
+        """Orthonormalize ``v``'s columns in place; return upper-tri R.
+
+        ``cycle``/``panel`` identify the call site within a solve
+        (restart cycle, first panel column).  Deterministic kernels
+        ignore them; randomized kernels fold them into their sketch
+        seeds so successive panels draw fresh, decorrelated operators
+        while repeated solves stay reproducible.  Schemes that drive an
+        intra-block kernel per panel must thread the context (see
+        :class:`repro.ortho.bcgs.BCGS2Scheme`).
+        """
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
@@ -100,13 +110,14 @@ class BlockOrthoScheme(ABC):
         self.r: Optional[np.ndarray] = None
         self.w: Optional[np.ndarray] = None
         self.observer: OrthoObserver = OrthoObserver()
+        self.cycle = 0
         self._final_cols = 0
         self._pushed_cols = 0
 
     # ------------------------------------------------------------------
     def begin_cycle(self, backend: OrthoBackend, basis, r: np.ndarray,
                     observer: OrthoObserver | None = None,
-                    w: np.ndarray | None = None) -> None:
+                    w: np.ndarray | None = None, cycle: int = 0) -> None:
         """Reset per-cycle state; ``r`` is written in place.
 
         ``w`` is optional extra storage for schemes whose basis columns
@@ -115,6 +126,11 @@ class BlockOrthoScheme(ABC):
         representation of column k's *intermediate* content over the final
         orthonormal basis (used by the s-step solver's Hessenberg
         recovery; see :class:`repro.ortho.two_stage.TwoStageScheme`).
+
+        ``cycle`` is the caller's restart-cycle index.  Randomized
+        schemes fold it into their sketch-operator seeds, so repeated
+        solves with a reused scheme instance are reproducible while
+        distinct cycles still draw decorrelated embeddings.
         """
         if r.ndim != 2 or r.shape[0] != r.shape[1]:
             raise ConfigurationError(f"R storage must be square, got {r.shape}")
@@ -123,6 +139,7 @@ class BlockOrthoScheme(ABC):
         self.r = r
         self.w = w
         self.observer = observer if observer is not None else OrthoObserver()
+        self.cycle = int(cycle)
         self._final_cols = 0
         self._pushed_cols = 0
         r.fill(0.0)

@@ -61,13 +61,16 @@ class BCGS2Scheme(BlockOrthoScheme):
         self._check_panel(lo, hi)
         backend = self.backend
         v = backend.view(self.basis, slice(lo, hi))
+        # (cycle, panel) context keeps randomized intra kernels drawing a
+        # fresh, reproducible sketch per panel instead of reusing one.
+        ctx = {"cycle": self.cycle, "panel": lo}
         if lo > 0:
             q = backend.view(self.basis, slice(0, lo))
-            r1 = bcgs_project(backend, q, v)            # sync 1
-        r_jj = self.intra_first.factor(backend, v)       # syncs 2..3
+            r1 = bcgs_project(backend, q, v)                    # sync 1
+        r_jj = self.intra_first.factor(backend, v, **ctx)        # syncs 2..3
         if lo > 0:
-            t1 = bcgs_project(backend, q, v)             # sync 4
-            t_jj = self.intra_second.factor(backend, v)  # sync 5
+            t1 = bcgs_project(backend, q, v)                     # sync 4
+            t_jj = self.intra_second.factor(backend, v, **ctx)   # sync 5
             backend.host_flops(2.0 * lo * (hi - lo) ** 2)
             self.r[:lo, lo:hi] = r1 + t1 @ r_jj
             self.r[lo:hi, lo:hi] = t_jj @ r_jj

@@ -51,7 +51,8 @@ class CholQR(IntraBlockQR):
 
     name = "cholqr"
 
-    def factor(self, backend: OrthoBackend, v) -> np.ndarray:
+    def factor(self, backend: OrthoBackend, v, *, cycle: int = 0,
+               panel: int = 0) -> np.ndarray:
         k = backend.n_cols(v)
         g = backend.dot(v, v)                      # sync (Gram)
         backend.host_flops(k ** 3 / 3.0)
@@ -65,7 +66,8 @@ class CholQR2(IntraBlockQR):
 
     name = "cholqr2"
 
-    def factor(self, backend: OrthoBackend, v) -> np.ndarray:
+    def factor(self, backend: OrthoBackend, v, *, cycle: int = 0,
+               panel: int = 0) -> np.ndarray:
         first = CholQR()
         r1 = first.factor(backend, v)
         t = first.factor(backend, v)
@@ -83,7 +85,8 @@ class ShiftedCholQR(IntraBlockQR):
 
     name = "shifted_cholqr3"
 
-    def factor(self, backend: OrthoBackend, v) -> np.ndarray:
+    def factor(self, backend: OrthoBackend, v, *, cycle: int = 0,
+               panel: int = 0) -> np.ndarray:
         n = backend.n_rows_global(v)
         k = backend.n_cols(v)
         g = backend.dot(v, v)                      # sync
@@ -126,7 +129,8 @@ class MixedPrecisionCholQR(IntraBlockQR):
         self.reorth = reorth
         self.factor_in_dd = factor_in_dd
 
-    def factor(self, backend: OrthoBackend, v) -> np.ndarray:
+    def factor(self, backend: OrthoBackend, v, *, cycle: int = 0,
+               panel: int = 0) -> np.ndarray:
         k = backend.n_cols(v)
         g_hi, g_lo = backend.dot_dd(v, v)          # sync (2x payload)
         dd_pen = 16.0  # dd Cholesky flop multiplier on the host

@@ -20,5 +20,6 @@ class HouseholderQR(IntraBlockQR):
 
     name = "hhqr"
 
-    def factor(self, backend: OrthoBackend, v) -> np.ndarray:
+    def factor(self, backend: OrthoBackend, v, *, cycle: int = 0,
+               panel: int = 0) -> np.ndarray:
         return backend.householder_qr(v)

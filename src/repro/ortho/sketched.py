@@ -4,10 +4,11 @@ Section IX: "random-sketching techniques have been recently integrated
 into CholQR [3].  We are investigating the potential of randomized CholQR
 to improve the stability of our block orthogonalization process."
 
-Algorithm (Balabanov [3], CountSketch flavour):
+Algorithm (Balabanov [3], sparse-sketch flavour):
 
-1. ``SV = S @ V`` with a sparse sketching operator of ``c * k`` rows —
-   one streaming pass over V plus one (small) reduction.
+1. ``SV = S @ V`` with a sketching operator of ``c * k`` rows from
+   :mod:`repro.sketch` — one streaming pass over V plus one (small)
+   reduction.
 2. QR of the sketch on the host: ``SV = Q_s R_s``.  With an
    eps-embedding sketch, ``kappa(V R_s^{-1}) = O(1)`` w.h.p. even for
    kappa(V) near eps^{-1}.
@@ -16,6 +17,12 @@ Algorithm (Balabanov [3], CountSketch flavour):
 
 Total: 2 synchronizations, BLAS-3 local work, stability far beyond the
 CholQR ``eps**-0.5`` cliff — tested in ``tests/ortho/test_sketched.py``.
+
+Reproducibility: the operator is derived deterministically from the
+``(seed, cycle, panel)`` context passed to :meth:`SketchedCholQR.factor`
+(no hidden call counter), so repeated solves with a reused kernel
+instance draw identical sketches while distinct cycles/panels stay
+decorrelated.
 """
 
 from __future__ import annotations
@@ -26,6 +33,13 @@ from repro.exceptions import ConfigurationError
 from repro.ortho.backend import OrthoBackend
 from repro.ortho.base import IntraBlockQR
 from repro.ortho.cholqr import CholQR
+from repro.sketch import (
+    canonical_family,
+    derive_seed,
+    make_operator,
+    sketch_qr,
+    sketch_rows,
+)
 
 
 class SketchedCholQR(IntraBlockQR):
@@ -36,42 +50,44 @@ class SketchedCholQR(IntraBlockQR):
     oversample:
         Sketch rows per input column (c >= 2 recommended; default 4).
     seed:
-        Base seed for the sketching operator; a per-call counter is mixed
-        in so repeated panels draw fresh sketches.
+        Base seed; the actual operator seed is derived per
+        ``(cycle, panel)`` so sketches are reproducible *and* fresh
+        across panels.
     reorth:
         Finish with a second CholQR pass (default True: O(eps)
         orthogonality, like CholQR2).
+    operator:
+        Sketch family from :data:`repro.sketch.OPERATOR_FAMILIES`
+        (default ``"sparse"``, i.e. CountSketch).
     """
 
     name = "sketched_cholqr"
 
     def __init__(self, oversample: int = 4, seed: int = 0x5EED,
-                 reorth: bool = True) -> None:
+                 reorth: bool = True, operator: str = "sparse") -> None:
         if oversample < 2:
             raise ConfigurationError(
                 f"oversample must be >= 2, got {oversample}")
         self.oversample = oversample
         self.seed = seed
         self.reorth = reorth
-        self._calls = 0
+        self.operator_family = canonical_family(operator)
 
-    def factor(self, backend: OrthoBackend, v) -> np.ndarray:
+    def factor(self, backend: OrthoBackend, v, *, cycle: int = 0,
+               panel: int = 0) -> np.ndarray:
         k = backend.n_cols(v)
         n = backend.n_rows_global(v)
-        m_rows = min(max(self.oversample * k, k + 8), max(n, k + 8))
-        self._calls += 1
-        sv = backend.sketch_dot(v, m_rows, self.seed + self._calls)  # sync
-        # Host QR of the small sketch; R_s preconditions V.
-        _, r_s = np.linalg.qr(sv)
-        signs = np.sign(np.diag(r_s))
-        signs[signs == 0] = 1.0
-        r_s = r_s * signs[:, np.newaxis]
+        m_rows = sketch_rows(k, n, family=self.operator_family,
+                             oversample=self.oversample)
+        op = make_operator(
+            self.operator_family, n, m_rows,
+            derive_seed(self.seed, "sketched_cholqr", cycle, panel, k))
+        sv = backend.sketch(v, op)                                    # sync
+        # Host QR of the small sketch; R_s preconditions V.  A
+        # numerically singular sketch (rank-deficient input) raises.
+        r_s, _ = sketch_qr(sv, rank_tol=np.finfo(np.float64).eps * m_rows,
+                           on_deficient="raise")
         backend.host_flops(2.0 * m_rows * k * k)
-        # Guard a numerically singular sketch (input rank-deficient).
-        diag = np.abs(np.diag(r_s))
-        if np.min(diag) <= np.finfo(np.float64).eps * np.max(diag) * m_rows:
-            raise ConfigurationError(
-                "sketch is numerically singular: input panel rank-deficient")
         backend.trsm(v, r_s)
         t1 = CholQR().factor(backend, v)                              # sync
         r = t1 @ r_s

@@ -21,5 +21,6 @@ class TSQRFactor(IntraBlockQR):
 
     name = "tsqr"
 
-    def factor(self, backend: OrthoBackend, v) -> np.ndarray:
+    def factor(self, backend: OrthoBackend, v, *, cycle: int = 0,
+               panel: int = 0) -> np.ndarray:
         return backend.tsqr(v)

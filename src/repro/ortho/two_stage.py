@@ -61,18 +61,33 @@ class TwoStageScheme(BlockOrthoScheme):
         self.breakdown = breakdown
         self._big_lo = 0
 
-    def begin_cycle(self, backend, basis, r, observer=None, w=None) -> None:
-        super().begin_cycle(backend, basis, r, observer=observer, w=w)
+    def begin_cycle(self, backend, basis, r, observer=None, w=None,
+                    cycle: int = 0) -> None:
+        super().begin_cycle(backend, basis, r, observer=observer, w=w,
+                            cycle=cycle)
         self._big_lo = 0
 
     # ------------------------------------------------------------------
+    def _stage_pass(self, lo: int, hi: int, *, stage: str
+                    ) -> tuple["np.ndarray | None", np.ndarray]:
+        """One orthogonalization pass of basis columns ``[lo, hi)``
+        against everything before ``lo``; returns ``(P, T)`` with
+        ``V_old = Q_prefix P + Q_new T`` (the :func:`bcgs_pip_panel`
+        contract).  Both stages use the same pass; subclasses override
+        to change the factorization (e.g. sketch-preconditioned in
+        :class:`repro.ortho.randomized.SketchedTwoStageScheme`) while
+        inheriting the two-stage bookkeeping unchanged.  ``stage`` is
+        ``"first"`` or ``"big_panel"``.
+        """
+        return bcgs_pip_panel(self.backend, self.basis, lo, lo, hi,
+                              breakdown=self.breakdown, panel_index=lo)
+
     def panel_arrived(self, lo: int, hi: int) -> bool:
         self._check_panel(lo, hi)
         # ---- Stage 1: pre-process the new panel (Fig. 5 line 14) -----
         # Prefix = final columns + already-pre-processed columns, i.e.
         # everything before lo.
-        p, r_jj = bcgs_pip_panel(self.backend, self.basis, lo, lo, hi,
-                                 breakdown=self.breakdown, panel_index=lo)
+        p, r_jj = self._stage_pass(lo, hi, stage="first")
         if p is not None:
             self.r[:lo, lo:hi] = p
         self.r[lo:hi, lo:hi] = r_jj
@@ -98,8 +113,7 @@ class TwoStageScheme(BlockOrthoScheme):
         lo = self._big_lo
         backend = self.backend
         width = hi - lo
-        p, t_big = bcgs_pip_panel(backend, self.basis, lo, lo, hi,
-                                  breakdown=self.breakdown, panel_index=lo)
+        p, t_big = self._stage_pass(lo, hi, stage="big_panel")
         r_hat = np.triu(self.r[lo:hi, lo:hi]).copy()
         if p is not None:
             backend.host_flops(2.0 * lo * width * width)

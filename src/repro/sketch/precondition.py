@@ -1,0 +1,85 @@
+"""Whitening preconditioners from sketched panels.
+
+The workhorse of randomized orthogonalization (Balabanov 2022; Carson &
+Ma, arXiv:2409.03079): QR-factor the *small* sketch ``S V = Q_s R_s`` on
+the host and precondition ``V <- V R_s^{-1}``.  When ``S`` is an
+eps-embedding of ``span(V)``, ``kappa(V R_s^{-1}) <= (1+eps)/(1-eps)``
+w.h.p. — even for ``kappa(V)`` approaching ``1/eps_machine``, far past
+the ``eps_machine^{-1/2}`` cliff where a Cholesky-based factorization
+breaks down.
+
+Near the numerical-rank boundary the triangular factor itself becomes
+singular; :func:`sketch_qr` offers both policies — raise (a caller that
+treats rank deficiency as Krylov-space closure wants the exception) or
+clip the offending diagonal entries (a scheme that must make progress
+regardless wants graceful degradation: clipped directions simply stay
+unnormalized and the follow-up Cholesky pass sees a bounded, if larger,
+condition number).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+
+from repro.config import EPS
+from repro.exceptions import ConfigurationError
+
+#: Default relative rank tolerance: diagonal entries of ``R_s`` below
+#: ``4 eps * max |diag|`` are numerically indistinguishable from zero
+#: through a constant-distortion sketch.
+DEFAULT_RANK_TOL = 4.0 * EPS
+
+
+def sketch_qr(sv: np.ndarray, *, rank_tol: float | None = None,
+              on_deficient: str = "clip") -> tuple[np.ndarray, int]:
+    """Upper-triangular whitening factor from a sketched panel.
+
+    Parameters
+    ----------
+    sv:
+        The ``(m_rows, k)`` sketch ``S V``.
+    rank_tol:
+        Relative tolerance below which a diagonal entry of ``R_s``
+        counts as numerically zero (default :data:`DEFAULT_RANK_TOL`).
+    on_deficient:
+        ``"clip"`` — replace tiny pivots by ``rank_tol * max`` so the
+        factor stays invertible (regularized whitening);
+        ``"raise"`` — raise :class:`ConfigurationError` instead.
+
+    Returns ``(r_s, n_clipped)`` with ``r_s`` sign-fixed to a positive
+    diagonal and ``n_clipped`` the number of regularized pivots.
+    """
+    if on_deficient not in ("clip", "raise"):
+        raise ConfigurationError(
+            f"on_deficient must be 'clip' or 'raise', got {on_deficient!r}")
+    tol = DEFAULT_RANK_TOL if rank_tol is None else float(rank_tol)
+    _, r_s = np.linalg.qr(np.asarray(sv, dtype=np.float64))
+    signs = np.sign(np.diag(r_s))
+    signs[signs == 0] = 1.0
+    r_s = r_s * signs[:, np.newaxis]
+    diag = np.diag(r_s)
+    dmax = float(np.max(diag)) if diag.size else 0.0
+    if dmax <= 0.0:
+        raise ConfigurationError(
+            "sketch is identically zero: cannot build a preconditioner")
+    deficient = diag < tol * dmax
+    n_clipped = int(np.count_nonzero(deficient))
+    if n_clipped:
+        if on_deficient == "raise":
+            raise ConfigurationError(
+                f"sketch is numerically singular ({n_clipped} pivot(s) "
+                f"below {tol:.2e} * max): input panel rank-deficient")
+        r_s = r_s.copy()
+        np.fill_diagonal(r_s, np.where(deficient, tol * dmax, diag))
+    return r_s, n_clipped
+
+
+def right_apply_inverse(a: np.ndarray, r: np.ndarray) -> np.ndarray:
+    """``A @ R^{-1}`` for upper-triangular ``R`` (host-side, small).
+
+    Used to maintain sketches of already-factored panels without an
+    extra global reduction: if ``sv`` sketches ``V`` and ``V = Q R``,
+    then ``sv @ R^{-1}`` sketches ``Q``.
+    """
+    return scipy.linalg.solve_triangular(r, a.T, trans="T", lower=False).T

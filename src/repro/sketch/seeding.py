@@ -1,0 +1,43 @@
+"""Deterministic seed derivation for sketching operators.
+
+Randomized orthogonalization is only reproducible if every sketching
+operator can be reconstructed from *declarative* context — which solve
+cycle, which panel, which operator family — instead of hidden mutable
+state (the per-instance call counter this module replaced).  A seed is
+therefore always *derived*: a stable 63-bit hash of the base seed plus
+any number of labels, so
+
+* the same ``(seed, context)`` always draws the same operator, across
+  processes, platforms, and repeated solves with a reused kernel object;
+* distinct contexts (another cycle, another panel) decorrelate — the
+  operator must be independent of the data it sketches, and re-using one
+  embedding across the adaptively-generated panels of a Krylov solve
+  would quietly void the w.h.p. embedding guarantee.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+#: Python ints are unbounded but NumPy seeds are happiest below 2**63.
+_SEED_BITS = 63
+
+
+def derive_seed(base: int, *context: int | str) -> int:
+    """Stable 63-bit seed from a base seed and arbitrary context labels.
+
+    ``context`` entries may be ints (cycle and panel indices, operator
+    sizes) or strings (operator family, call-site tags).  The derivation
+    is a blake2b hash of the canonical encoding, so it is insensitive to
+    Python's per-process ``hash()`` randomization and identical on every
+    platform.
+    """
+    h = hashlib.blake2b(digest_size=8)
+    h.update(int(base).to_bytes(16, "little", signed=True))
+    for part in context:
+        if isinstance(part, str):
+            data = part.encode("utf-8")
+            h.update(b"s" + len(data).to_bytes(4, "little") + data)
+        else:
+            h.update(b"i" + int(part).to_bytes(16, "little", signed=True))
+    return int.from_bytes(h.digest(), "little") & ((1 << _SEED_BITS) - 1)

@@ -108,6 +108,25 @@ class TestCompareBenchCli:
         b = str(base.write(tmp_path / "base.json"))
         c = str(cur.write(tmp_path / "cur.json"))
         assert cli.main([b, c]) == 1
+        # ... unless the rename is declared intentional
+        assert cli.main([b, c, "--allow-disjoint"]) == 0
+
+    def test_one_sided_entries_reported_not_errored(self, cli, tmp_path,
+                                                    capsys):
+        """Benchmarks present in only one artifact are new/removed churn,
+        not failures; the shared set still gates."""
+        base = artifact([rec("kept", 1e-4), rec("gone", 1e-4)])
+        cur = artifact([rec("kept", 1e-4), rec("fresh", 9.0)])
+        b = str(base.write(tmp_path / "base.json"))
+        c = str(cur.write(tmp_path / "cur.json"))
+        assert cli.main([b, c]) == 0
+        out = capsys.readouterr().out
+        assert "new benchmark (not gated): fresh" in out
+        assert "removed benchmark: gone" in out
+        # a regression in the shared set still fails alongside churn
+        cur2 = artifact([rec("kept", 9e-4), rec("fresh", 9.0)])
+        c2 = str(cur2.write(tmp_path / "cur2.json"))
+        assert cli.main([b, c2]) == 1
 
     def test_speedup_gate(self, cli, tmp_path):
         art = artifact([rec("test_a[loop]", 3e-4),

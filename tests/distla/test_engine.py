@@ -147,6 +147,43 @@ class TestStackedStorage:
         np.testing.assert_allclose(got, arr.T @ arr, rtol=1e-13)
 
 
+@pytest.mark.parametrize("ranks", [3, 8])
+@pytest.mark.parametrize("n", [N_UNIFORM, N_RAGGED],
+                         ids=["uniform", "ragged"])
+class TestSketchDotEngineEquivalence:
+    """DistBackend.sketch_dot is an execution-strategy-free operation:
+    loop and batched engines must produce bit-identical sketches and
+    charge identical modeled costs on every partition shape."""
+
+    M_ROWS = 24
+
+    def run_sketch(self, engine, n, ranks):
+        part = Partition(n, ranks)
+        comm = SimComm(generic_cpu(), ranks, Tracer())
+        rng = np.random.default_rng(23)
+        v = DistMultiVector.from_global(rng.standard_normal((n, KV)),
+                                        part, comm)
+        out = DistBackend(comm, engine=engine).sketch_dot(
+            v, self.M_ROWS, seed=42)
+        return out, comm.tracer
+
+    def test_bit_identical(self, n, ranks):
+        loop, _ = self.run_sketch("loop", n, ranks)
+        batched, _ = self.run_sketch("batched", n, ranks)
+        np.testing.assert_array_equal(batched, loop)
+
+    def test_charged_costs_identical(self, n, ranks):
+        _, t_loop = self.run_sketch("loop", n, ranks)
+        _, t_batched = self.run_sketch("batched", n, ranks)
+        assert t_batched.clock == t_loop.clock
+        assert dict(t_batched.by_kernel) == dict(t_loop.by_kernel)
+        assert dict(t_batched.counts) == dict(t_loop.counts)
+
+    def test_one_synchronization(self, n, ranks):
+        _, tracer = self.run_sketch("batched", n, ranks)
+        assert tracer.sync_count() == 1
+
+
 class TestEngineSelection:
     def test_config_roundtrip(self):
         prev = config.set_engine("loop")

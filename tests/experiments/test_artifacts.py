@@ -6,6 +6,7 @@ import pytest
 
 from repro.exceptions import ConfigurationError
 from repro.experiments import fig6, fig7, fig8, fig9, fig10_12, fig13
+from repro.experiments import sketch_stability
 from repro.experiments import table2, table3, table4, ablations
 from repro.experiments.common import ExperimentTable, fmt, resolve_machine, speedup
 
@@ -71,6 +72,27 @@ class TestNumericsFigures:
         rows = {r[0]: r for r in t.rows}
         assert rows["offshore"][1] == "moderate"
         assert rows["Ga41As41H72"][1] == "hard"
+
+
+class TestSketchStability:
+    def test_quick_sweep_shows_the_cliff(self):
+        """Smoke-size variant of the acceptance claim: at kappa = 1e15
+        the classical two-stage scheme breaks down or stagnates while
+        the sketched variant converges to O(eps) orthogonality."""
+        t = sketch_stability.run(n=800, k=20, kappas=[1e4, 1e15])
+        rows = {r[0]: r for r in t.rows}
+        benign, extreme = rows["1.000e+04"], rows["1.000e+15"]
+        # both fine in the classical regime
+        assert benign[2] == "ok" and benign[4] == "ok"
+        # the cliff: classical fails, sketched converges
+        assert extreme[2] in ("breakdown", "stagnated")
+        assert extreme[4] == "ok"
+        assert float(extreme[3]) < 1e-8
+
+    def test_runner_dispatch(self, capsys):
+        from repro.experiments.runner import main
+        assert main(["sketch", "--n", "600", "--k", "10"]) == 0
+        assert "sketched" in capsys.readouterr().out
 
 
 class TestPerformanceTables:

@@ -37,7 +37,9 @@ class TestWorkflow:
         text = WORKFLOW.read_text()
         for ref in ("scripts/compare_bench.py",
                     "benchmarks/bench_kernels.py",
-                    "benchmarks/BENCH_kernels.json"):
+                    "benchmarks/BENCH_kernels.json",
+                    "benchmarks/bench_sketch_kernels.py",
+                    "benchmarks/BENCH_sketch.json"):
             assert ref in text, f"{ref} not exercised by CI"
             assert (REPO / ref).exists(), f"{ref} missing from repo"
 
@@ -56,6 +58,18 @@ class TestCommittedBaseline:
         for name in ("test_block_dot", "test_block_axpy"):
             assert art.speedup(f"{name}[loop]", f"{name}[batched]") >= 1.5
             assert art.record(f"{name}[batched]").extra["ranks"] >= 16
+
+    def test_sketch_baseline_artifact(self):
+        """The committed sketch baseline covers every operator family
+        under both engines, with engine-identical modeled costs."""
+        from repro.bench.artifacts import load_artifact
+        art = load_artifact(REPO / "benchmarks" / "BENCH_sketch.json")
+        assert art.name == "sketch"
+        for family in ("sparse", "gaussian", "srht"):
+            loop = art.record(f"test_sketch_apply[{family}-loop]")
+            batched = art.record(f"test_sketch_apply[{family}-batched]")
+            assert loop.extra["modeled_seconds"] == \
+                batched.extra["modeled_seconds"]
 
 
 class TestPyproject:
