@@ -43,7 +43,7 @@ def check():
 
 
 #: Modules whose artifact name differs from the ``bench_<name>`` stem.
-ARTIFACT_ALIASES = {"sketch_kernels": "sketch"}
+ARTIFACT_ALIASES = {"sketch_kernels": "sketch", "sstep_gmres": "gmres"}
 
 
 def _artifact_name(fullname: str) -> str:

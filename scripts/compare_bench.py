@@ -15,7 +15,14 @@ Two checks, combinable in one invocation:
   faster than ``NAME[loop]`` — the engine claim this repo's CI enforces
   on ``test_block_dot`` and ``test_block_axpy``.
 
-Exit status 0 when all gates pass, 1 otherwise.  Examples::
+A candidate artifact that is *missing* an entry referenced by
+``--check-speedup`` is a configuration error, not a failed gate — the
+benchmark was renamed or never ran, and silently "failing" (or worse,
+passing) would hide that.  It exits with status 2 and a message naming
+the file and every missing entry.
+
+Exit status 0 when all gates pass, 1 when a gate fails, 2 on a
+hard configuration error.  Examples::
 
     python scripts/compare_bench.py benchmarks/BENCH_kernels.json \
         bench-out/BENCH_kernels.json
@@ -83,13 +90,24 @@ def main(argv: list[str] | None = None) -> int:
             print(f"regression gate ok: {len(shared)} shared benchmarks "
                   f"within {args.threshold:.0%} of baseline")
 
+    if args.check_speedup:
+        candidate = args.current if args.current else args.baseline
+        have = set(current.names())
+        missing = [entry for name in args.check_speedup
+                   for entry in (f"{name}[loop]", f"{name}[batched]")
+                   if entry not in have]
+        if missing:
+            # Hard error, not a failed gate: the artifact cannot answer
+            # the question it is being asked (renamed/never-ran bench).
+            print(f"ERROR: {candidate} is missing "
+                  f"{len(missing)} entr{'y' if len(missing) == 1 else 'ies'} "
+                  f"required by --check-speedup: {', '.join(missing)}")
+            print("(benchmark renamed or did not run; fix the bench "
+                  "invocation or the --check-speedup names)")
+            return 2
+
     for name in args.check_speedup:
-        try:
-            speedup = current.speedup(f"{name}[loop]", f"{name}[batched]")
-        except KeyError as exc:
-            print(f"SPEEDUP CHECK FAILED {name}: {exc}")
-            failed = True
-            continue
+        speedup = current.speedup(f"{name}[loop]", f"{name}[batched]")
         ok = speedup >= args.min_speedup
         tag = "ok" if ok else "TOO SLOW"
         print(f"speedup {tag}: {name} batched is {speedup:.2f}x vs loop "

@@ -17,6 +17,7 @@ from repro.experiments import (
     fig9,
     fig10_12,
     fig13,
+    rgs_convergence,
     sketch_stability,
     table2,
     table3,
@@ -37,6 +38,7 @@ _DISPATCH = {
     "fig13": fig13.main,
     "ablations": ablations.main,
     "sketch": sketch_stability.main,
+    "rgs": rgs_convergence.main,
 }
 
 
@@ -59,6 +61,7 @@ def run_all_quick() -> None:
     print(ablations.run_intra_kernels(n=20000).render(), "\n")
     print(ablations.run_step_strategies(nx=32).render(), "\n")
     print(sketch_stability.run(n=2000).render(), "\n")
+    print(rgs_convergence.run(n=250, maxiter=800).render(), "\n")
 
 
 def main(argv: list | None = None) -> int:

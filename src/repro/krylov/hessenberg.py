@@ -124,3 +124,71 @@ def least_squares_residual(h: np.ndarray, gamma: float,
         y = scipy.linalg.solve_triangular(r, z, lower=False)
     resid = float(np.linalg.norm(rhs - h @ y))
     return y, resid
+
+
+def sketched_least_squares(sq: np.ndarray, h: np.ndarray,
+                           rhs: np.ndarray
+                           ) -> tuple[np.ndarray, float, dict]:
+    """Sketch-space GMRES least squares (randomized GMRES à la RGS).
+
+    The cycle's residual over the basis is ``V_{1:c+1} (rhs - H y)``.
+    Classical s-step GMRES minimizes the *coordinate* norm
+    ``||rhs - H y||`` — correct only while ``V`` is orthonormal.  Here
+    we are given the sketched basis ``sq = S V_{1:c+1}`` (``m`` rows)
+    and minimize the *embedded* residual instead:
+
+        min_y || S V (rhs - H y) ||_2  =  min_y || R_s (rhs - H y) ||_2
+
+    with ``S V = Q_s R_s`` the thin QR of the sketch.  Since ``S`` is an
+    eps-embedding of ``span(V)``, the minimum is within ``(1 +- eps)``
+    of the true residual norm *whatever* the conditioning of ``V`` — the
+    basis only needs to be numerically full-rank, not orthogonal.  This
+    is what lets the solver run on a merely sketch-orthonormal basis
+    (``SketchedTwoStageScheme(fused=True)``).
+
+    Returns ``(y, resid_est, info)``: the minimizer, the sketched
+    residual norm ``||R_s (rhs - H y)||`` (a backward-stable estimate of
+    ``||b - A x||`` up to embedding distortion; cf. the residual-gap
+    analysis of arXiv:2409.03079), and diagnostics — ``basis_condition``
+    (``kappa(R_s)``, which estimates ``kappa(V)`` through the
+    embedding), ``embedding_rows`` and ``rank_deficient``.
+    """
+    sq = np.asarray(sq, dtype=np.float64)
+    h = np.asarray(h, dtype=np.float64)
+    rows, cols = h.shape
+    if rows != cols + 1:
+        raise ShapeError(f"H must be (c+1) x c, got {h.shape}")
+    if sq.ndim != 2 or sq.shape[1] != rows:
+        raise ShapeError(
+            f"sketched basis of shape {sq.shape} does not cover the "
+            f"{rows} basis columns of H")
+    if sq.shape[0] < rows:
+        raise ShapeError(
+            f"sketch has {sq.shape[0]} rows < {rows} basis columns: not "
+            f"an embedding")
+    rhs = np.asarray(rhs, dtype=np.float64).ravel()
+    if rhs.shape[0] != rows:
+        raise ShapeError(f"rhs length {rhs.shape[0]} != {rows}")
+    _, r_s = np.linalg.qr(sq, mode="reduced")
+    diag_s = np.abs(np.diag(r_s))
+    dmax = float(np.max(diag_s)) if diag_s.size else 0.0
+    if dmax == 0.0:
+        raise NumericalError("sketched basis is identically zero")
+    rank_deficient = bool(np.min(diag_s) == 0.0)
+    # Whitened (well-conditioned) small problem: g = R_s H, z = R_s rhs.
+    g = r_s @ h
+    z = r_s @ rhs
+    q_g, r_g = np.linalg.qr(g, mode="reduced")
+    diag_g = np.abs(np.diag(r_g))
+    if cols and np.min(diag_g) == 0.0:
+        y = np.linalg.lstsq(g, z, rcond=None)[0]
+    else:
+        y = scipy.linalg.solve_triangular(r_g, q_g.T @ z, lower=False)
+    resid = float(np.linalg.norm(z - g @ y))
+    info = {
+        "basis_condition": float(np.inf) if rank_deficient
+        else float(np.linalg.cond(r_s)),
+        "embedding_rows": int(sq.shape[0]),
+        "rank_deficient": rank_deficient,
+    }
+    return y, resid, info

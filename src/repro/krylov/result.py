@@ -56,6 +56,12 @@ class SolveResult:
     #: no usable checkpoint (basis breakdown), as opposed to reaching
     #: maxiter — the signal the adaptive step-size driver reacts to.
     stalled: bool = False
+    #: Solver-specific numerics diagnostics.  The sketched s-step solve
+    #: path records ``solve_mode``, the worst basis condition estimate
+    #: ``kappa(S V)`` seen at a checkpoint, and the largest residual gap
+    #: ``| ||r||_est - ||r||_explicit | / ||b||`` observed at a restart
+    #: (the backward-stability monitor of arXiv:2409.03079).
+    diagnostics: dict = field(default_factory=dict)
 
     @property
     def total_time(self) -> float:

@@ -10,13 +10,30 @@ whenever the scheme reports final ``R`` columns, which is also the only
 place convergence may be tested — hence the iteration counts in the
 paper's tables quantize to multiples of ``s`` (one-stage) or ``bs``
 (two-stage).
+
+``solve_mode="sketched"`` turns the same loop into a *randomized* GMRES
+(à la randomized Gram-Schmidt GMRES, arXiv:2503.16717): a sketched basis
+``S V`` is maintained alongside the full one and the small least-squares
+problem is solved in sketch space
+(:func:`repro.krylov.hessenberg.sketched_least_squares`), so the basis
+only needs to be numerically full rank — explicit l2 orthogonality is
+never relied on.  Pair it with
+:class:`~repro.ortho.randomized.SketchedTwoStageScheme` ``(fused=True)``,
+whose single-collective stage passes produce exactly such a
+sketch-orthonormal basis (and whose maintained basis sketch the solver
+reuses for free).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.config import DEFAULT_RESTART, DEFAULT_STEP_SIZE, DEFAULT_TOL
+from repro.config import (
+    DEFAULT_RESTART,
+    DEFAULT_SEED,
+    DEFAULT_STEP_SIZE,
+    DEFAULT_TOL,
+)
 from repro.distla import blas as dblas
 from repro.exceptions import CholeskyBreakdownError, ConfigurationError
 from repro.krylov.basis import KrylovBasis, MonomialBasis, NewtonBasis
@@ -24,6 +41,7 @@ from repro.krylov.gmres import _explicit_residual
 from repro.krylov.hessenberg import (
     assemble_hessenberg_mixed,
     least_squares_residual,
+    sketched_least_squares,
 )
 from repro.krylov.mpk import MatrixPowersKernel, PreconditionedOperator
 from repro.krylov.result import ConvergenceHistory, SolveResult
@@ -31,6 +49,66 @@ from repro.krylov.simulation import Simulation
 from repro.ortho.base import BlockOrthoScheme, OrthoObserver
 from repro.ortho.bcgs_pip import BCGSPIP2Scheme
 from repro.precond.base import Preconditioner
+from repro.sketch import (
+    canonical_family,
+    derive_seed,
+    make_operator,
+    sketch_rows,
+)
+
+#: Valid ``solve_mode`` values for :func:`sstep_gmres`.
+SOLVE_MODES = ("classical", "sketched")
+
+
+class _SolveSketch:
+    """Per-solve sketch context for ``solve_mode="sketched"``.
+
+    Maintains the sketched basis ``S V`` of the *final* columns of the
+    current cycle.  When the orthogonalization scheme already carries a
+    basis sketch (:attr:`BlockOrthoScheme.basis_sketch` — the
+    randomized schemes), that sketch is reused and the solve path adds
+    ZERO collectives; otherwise newly-finalized columns are sketched on
+    demand — one extra fused-size allreduce per checkpoint, charged to
+    the ortho phase like every other reduction the solver issues.
+
+    The operator is derived deterministically from ``(seed, cycle)`` so
+    repeated solves reproduce bit-for-bit while each restart cycle
+    draws a fresh embedding (reusing one across adaptively generated
+    cycles would void the w.h.p. guarantee).
+    """
+
+    def __init__(self, backend, n: int, width: int, family: str,
+                 oversample: int | None, seed: int) -> None:
+        self.backend = backend
+        self.n = n
+        self.width = width
+        self.family = canonical_family(family)
+        self.oversample = oversample
+        self.seed = seed
+        self.m_rows = sketch_rows(width, n, family=self.family,
+                                  oversample=self.oversample)
+        self._op = None
+        self._sq = np.zeros((self.m_rows, width))
+        self._cols = 0
+
+    def begin_cycle(self, cycle: int) -> None:
+        self._op = make_operator(
+            self.family, self.n, self.m_rows,
+            derive_seed(self.seed, "sstep-gmres-solve", cycle))
+        self._sq.fill(0.0)
+        self._cols = 0
+
+    def basis_sketch(self, scheme: BlockOrthoScheme, basis_mv,
+                     hi: int) -> np.ndarray:
+        """``S V_{1:hi}``, reusing the scheme's sketch when it has one."""
+        from_scheme = scheme.basis_sketch
+        if from_scheme is not None and from_scheme.shape[1] >= hi:
+            return from_scheme[:, :hi]
+        if hi > self._cols:  # sketch only the newly-finalized columns
+            view = self.backend.view(basis_mv, slice(self._cols, hi))
+            self._sq[:, self._cols:hi] = self.backend.sketch(view, self._op)
+            self._cols = hi
+        return self._sq[:, :hi]
 
 
 def _resolve_basis(basis: str | KrylovBasis) -> KrylovBasis:
@@ -62,7 +140,11 @@ def sstep_gmres(sim: Simulation, b: np.ndarray,
                 scheme: BlockOrthoScheme | None = None,
                 basis: str | KrylovBasis = "monomial",
                 precond: Preconditioner | None = None,
-                observer: OrthoObserver | None = None) -> SolveResult:
+                observer: OrthoObserver | None = None,
+                solve_mode: str = "classical",
+                sketch_operator: str = "sparse",
+                sketch_oversample: int | None = None,
+                sketch_seed: int | None = None) -> SolveResult:
     """Solve ``A x = b`` with s-step GMRES on the simulated machine.
 
     Parameters
@@ -82,9 +164,29 @@ def sstep_gmres(sim: Simulation, b: np.ndarray,
         Optional right preconditioner (set up automatically).
     observer:
         Forwarded to the scheme for numerics instrumentation.
+    solve_mode:
+        ``"classical"`` minimizes the coordinate least-squares problem
+        ``||gamma R e1 - H y||`` — correct while the basis is
+        orthonormal.  ``"sketched"`` maintains a sketched basis ``S V``
+        alongside the full one and minimizes the *embedded* residual
+        ``||S V (rhs - H y)||`` instead (randomized GMRES à la RGS):
+        valid for any numerically full-rank basis, e.g. the
+        sketch-orthonormal one produced by
+        :class:`~repro.ortho.randomized.SketchedTwoStageScheme` with
+        ``fused=True``.  The sketched path also emits residual-gap /
+        basis-condition diagnostics into ``SolveResult.diagnostics``.
+    sketch_operator / sketch_oversample / sketch_seed:
+        Sketch family, embedding-size override and base seed for the
+        sketched solve path (ignored in classical mode).  When the
+        scheme exposes :attr:`BlockOrthoScheme.basis_sketch`, its sketch
+        is reused and these knobs are irrelevant.
     """
     if restart < s:
         raise ConfigurationError(f"restart {restart} must be >= step {s}")
+    if solve_mode not in SOLVE_MODES:
+        raise ConfigurationError(
+            f"unknown solve_mode {solve_mode!r}; expected one of "
+            f"{SOLVE_MODES}")
     scheme = scheme if scheme is not None else BCGSPIP2Scheme()
     poly = _resolve_basis(basis)
     tracer = sim.tracer
@@ -106,6 +208,17 @@ def sstep_gmres(sim: Simulation, b: np.ndarray,
     history = ConvergenceHistory()
     bounds = _panel_bounds(s, restart + 1)
 
+    sketch_ctx: _SolveSketch | None = None
+    diagnostics: dict = {}
+    if solve_mode == "sketched":
+        sketch_ctx = _SolveSketch(
+            backend, sim.n, restart + 1, sketch_operator, sketch_oversample,
+            DEFAULT_SEED if sketch_seed is None else sketch_seed)
+        diagnostics = {"solve_mode": "sketched",
+                       "basis_condition_max": 0.0,
+                       "residual_gap_max": 0.0,
+                       "embedding_rows": sketch_ctx.m_rows}
+
     beta0 = None
     iters = 0
     restarts = 0
@@ -114,12 +227,21 @@ def sstep_gmres(sim: Simulation, b: np.ndarray,
     h_prev: np.ndarray | None = None
     stalled_cycles = 0
     stalled = False
+    est_abs: float | None = None  # last checkpoint's residual estimate
 
     while iters < maxiter and not converged:
         gamma = _explicit_residual(sim, b_vec, x_vec, r_vec)
         if beta0 is None:
             beta0 = gamma if gamma > 0 else 1.0
             history.record(0, gamma / beta0)
+        if sketch_ctx is not None and est_abs is not None:
+            # Residual-gap monitor (arXiv:2409.03079): the distance
+            # between the sketched estimate and the explicit residual,
+            # relative to the initial residual norm.
+            diagnostics["residual_gap_max"] = max(
+                diagnostics["residual_gap_max"],
+                abs(gamma - est_abs) / beta0)
+            est_abs = None
         rel_res = gamma / beta0
         if rel_res <= tol:
             converged = True
@@ -131,6 +253,8 @@ def sstep_gmres(sim: Simulation, b: np.ndarray,
             backend.scale_cols(basis_mv.view_cols(0), np.array([1.0 / gamma]))
         scheme.begin_cycle(backend, basis_mv, r_factor, observer=observer,
                            w=w_factor, cycle=restarts)
+        if sketch_ctx is not None:
+            sketch_ctx.begin_cycle(restarts)
         # State of each MPK start column at the time it was consumed:
         # "raw" (never orthogonalized), "final" (fully orthogonalized) or
         # "pre" (two-stage stage-1 only); drives the Hessenberg recovery.
@@ -140,7 +264,7 @@ def sstep_gmres(sim: Simulation, b: np.ndarray,
 
         def _check(hi: int) -> bool:
             """Hessenberg + least squares at a final-R checkpoint."""
-            nonlocal best, rel_res, h_prev
+            nonlocal best, rel_res, h_prev, est_abs
             c = hi - 1
             if c < 1:
                 return False
@@ -156,8 +280,20 @@ def sstep_gmres(sim: Simulation, b: np.ndarray,
             h = assemble_hessenberg_mixed(r_factor, w_tilde, poly, c)
             backend.host_flops(2.0 * c ** 3)
             rhs = gamma * r_factor[: c + 1, 0]
-            y, resid = least_squares_residual(h, gamma, rhs=rhs)
-            backend.host_flops(2.0 * c ** 3)
+            if sketch_ctx is not None:
+                with tracer.phase("ortho"):
+                    sq = sketch_ctx.basis_sketch(scheme, basis_mv, c + 1)
+                y, resid, info = sketched_least_squares(sq, h, rhs)
+                backend.host_flops(
+                    2.0 * sq.shape[0] * (c + 1) ** 2 + 2.0 * c ** 3)
+                if np.isfinite(info["basis_condition"]):
+                    diagnostics["basis_condition_max"] = max(
+                        diagnostics["basis_condition_max"],
+                        info["basis_condition"])
+                est_abs = resid
+            else:
+                y, resid = least_squares_residual(h, gamma, rhs=rhs)
+                backend.host_flops(2.0 * c ** 3)
             best = (c, y)
             h_prev = h
             rel_res = resid / beta0
@@ -236,4 +372,4 @@ def sstep_gmres(sim: Simulation, b: np.ndarray,
         restarts=restarts, relative_residual=float(rel_res),
         history=history, times=times, ortho_breakdown=ortho_breakdown,
         sync_count=sync_count, solver="sstep_gmres", scheme=scheme.name,
-        stalled=stalled)
+        stalled=stalled, diagnostics=diagnostics)

@@ -163,6 +163,20 @@ class BlockOrthoScheme(ABC):
         """Number of leading basis columns that are fully orthogonalized."""
         return self._final_cols
 
+    @property
+    def basis_sketch(self) -> "np.ndarray | None":
+        """Sketch ``S Q`` of the final basis columns, or ``None``.
+
+        Randomized schemes that already maintain a sketch of the basis
+        (e.g. :class:`repro.ortho.randomized.RBCGSScheme`) expose it
+        here as an ``(m, final_cols)`` array so a sketch-space solver
+        (``sstep_gmres(..., solve_mode="sketched")``) can reuse it
+        without charging any extra collective.  Deterministic schemes
+        return ``None`` and the solver sketches finalized columns
+        itself.
+        """
+        return None
+
     def _emit(self, stage: str, panel_index: int, lo: int, hi: int,
               prefix: int) -> None:
         self.observer.on_event(

@@ -169,6 +169,12 @@ class RBCGSScheme(BlockOrthoScheme):
         self._final_cols = hi
         return True
 
+    @property
+    def basis_sketch(self) -> "np.ndarray | None":
+        if self._sq is None or not self._final_cols:
+            return None
+        return self._sq[:, : self._final_cols]
+
 
 class SketchedTwoStageScheme(TwoStageScheme):
     """Two-stage scheme whose stage passes are sketch-preconditioned.
@@ -189,6 +195,29 @@ class SketchedTwoStageScheme(TwoStageScheme):
     pass: the communication price of the stability headroom documented
     in ``experiments/sketch_stability.py`` (kappa up to 1e15, where the
     classical scheme's stage-1 Cholesky breaks down outright).
+
+    With ``fused=True`` every stage pass instead travels in ONE
+    collective — the projection coefficients and the panel sketch are
+    fused exactly like :class:`RBCGSScheme`'s step 1, the residual
+    sketch is corrected on the host from the maintained basis sketch
+    (``SV - (SQ) P``, first order), and the pass finishes with the
+    sketch-QR whitening alone — no l2-Cholesky, no second reduction.
+    The contract changes accordingly: the factorization stays *exact*
+    (``V = Q R`` to rounding) and the basis stays *numerically full
+    rank* (whitening knocks the condition number down by orders of
+    magnitude, keeping it far from ``1/eps`` for inputs up to
+    ``kappa ~ 1e15``), but explicit l2 orthogonality is NOT maintained
+    — the first-order sketch correction cancels catastrophically on
+    extreme inputs, which is precisely the price of dropping the second
+    collective (the fresh post-whitening sketch is what buys
+    :class:`RBCGSScheme` its O(eps) orthogonality).  This is the
+    randomized-GMRES (RGS) contract: pair it with
+    ``sstep_gmres(..., solve_mode="sketched")``, which solves the small
+    least-squares problem in sketch space and never relies on explicit
+    orthogonality — the solver then reuses the maintained basis sketch
+    (:attr:`basis_sketch`) at zero extra communication.  1
+    synchronization per stage pass, matching the classical BCGS-PIP
+    pass it replaces.
     """
 
     name = "sketched-two-stage"
@@ -196,13 +225,15 @@ class SketchedTwoStageScheme(TwoStageScheme):
     def __init__(self, big_step: int, breakdown: str = "shift",
                  operator: str = "sparse", oversample: int | None = None,
                  seed: int = DEFAULT_SEED,
-                 rank_tol: float | None = None) -> None:
+                 rank_tol: float | None = None, fused: bool = False) -> None:
         super().__init__(big_step, breakdown=breakdown)
         self.operator_family = canonical_family(operator)
         self.oversample = oversample
         self.seed = seed
         self.rank_tol = rank_tol
+        self.fused = fused
         self._op = None
+        self._sq: np.ndarray | None = None
 
     def begin_cycle(self, backend, basis, r, observer=None, w=None,
                     cycle: int = 0) -> None:
@@ -215,9 +246,12 @@ class SketchedTwoStageScheme(TwoStageScheme):
         self._op = make_operator(
             self.operator_family, n, m,
             derive_seed(self.seed, "sketched-two-stage", self.cycle))
+        self._sq = np.zeros((m, k_total)) if self.fused else None
 
     def _stage_pass(self, lo: int, hi: int, *, stage: str
                     ) -> tuple[np.ndarray | None, np.ndarray]:
+        if self.fused:
+            return self._fused_stage_pass(lo, hi)
         backend = self.backend
         v = backend.view(self.basis, slice(lo, hi))
         c = hi - lo
@@ -238,3 +272,41 @@ class SketchedTwoStageScheme(TwoStageScheme):
         backend.host_flops(c ** 3 / 3.0)
         backend.trsm(v, t)
         return p, t @ r_s
+
+    def _fused_stage_pass(self, lo: int, hi: int
+                          ) -> tuple[np.ndarray | None, np.ndarray]:
+        """One stage pass in ONE collective (the RGS-style fusion).
+
+        The projection ``P = Q.T V`` and the panel sketch ``S V``
+        share a single allreduce; the prefix contribution is removed
+        from the sketch on the host (``SV - (SQ) P`` — first order, no
+        communication), and the sketch-QR factor both whitens the panel
+        and *is* its triangular factor.  The maintained basis sketch is
+        updated with the whitened panel's sketch ``(SV - SQ P) R_s^{-1}``
+        — again host-only.
+        """
+        backend = self.backend
+        v = backend.view(self.basis, slice(lo, hi))
+        c = hi - lo
+        m = self._op.m_rows
+        if lo:
+            q = backend.view(self.basis, slice(0, lo))
+            (p,), sv = backend.fused_dots_sketch([(q, v)], v, self._op)
+            backend.update(v, q, p)
+            sv = sv - self._sq[:, :lo] @ p
+            backend.host_flops(2.0 * m * lo * c)
+        else:
+            p = None
+            sv = backend.sketch(v, self._op)                 # sync (the one)
+        r_s, _ = sketch_qr(sv, rank_tol=self.rank_tol)
+        backend.host_flops(2.0 * m * c * c)
+        backend.trsm(v, r_s)
+        self._sq[:, lo:hi] = right_apply_inverse(sv, r_s)
+        backend.host_flops(m * c * c)
+        return p, r_s
+
+    @property
+    def basis_sketch(self) -> "np.ndarray | None":
+        if self._sq is None or not self._final_cols:
+            return None
+        return self._sq[:, : self._final_cols]

@@ -135,4 +135,28 @@ class TestCompareBenchCli:
         assert cli.main([p, "--check-speedup", "test_a"]) == 0
         assert cli.main([p, "--check-speedup", "test_a",
                          "--min-speedup", "5.0"]) == 1
-        assert cli.main([p, "--check-speedup", "test_missing"]) == 1
+
+    def test_missing_speedup_entries_hard_error(self, cli, tmp_path,
+                                                capsys):
+        """A candidate missing entries referenced by --check-speedup is a
+        configuration error (exit 2, every missing entry named), never a
+        silent pass."""
+        art = artifact([rec("test_a[loop]", 3e-4),
+                        rec("test_a[batched]", 1e-4)])
+        p = str(art.write(tmp_path / "a.json"))
+        assert cli.main([p, "--check-speedup", "test_missing"]) == 2
+        out = capsys.readouterr().out
+        assert "ERROR" in out and p in out
+        assert "test_missing[loop]" in out
+        assert "test_missing[batched]" in out
+        # one present engine leg is not enough — both are required
+        half = artifact([rec("test_a[loop]", 3e-4)])
+        ph = str(half.write(tmp_path / "half.json"))
+        assert cli.main([ph, "--check-speedup", "test_a"]) == 2
+        out = capsys.readouterr().out
+        assert "test_a[batched]" in out and "test_a[loop]" not in \
+            out.split("required by --check-speedup:")[1]
+        # the two-artifact form blames the *candidate* file
+        assert cli.main([p, ph, "--check-speedup", "test_a",
+                         "--allow-disjoint"]) == 2
+        assert ph in capsys.readouterr().out

@@ -113,6 +113,113 @@ class TestSketchedTwoStage:
         assert orthogonality_error(res.q) < 1e-13
 
 
+class TestFusedSketchedTwoStage:
+    """The single-collective (RGS-style) stage pass, fused=True."""
+
+    def test_whitened_full_rank_basis(self, rng):
+        """The fused pass trades l2 orthogonality for communication: it
+        guarantees an exact factorization and a *numerically full-rank*
+        whitened basis (condition knocked down orders of magnitude from
+        the input, far from 1/eps), which is all the sketch-space solve
+        needs.  The O(eps)-orthogonal variant is the unfused path."""
+        v = logscaled_matrix(2000, 20, 1e12, rng)
+        scheme = SketchedTwoStageScheme(big_step=10, fused=True)
+        res = drive(scheme, v)
+        rep = np.linalg.norm(res.q @ res.r - v) / np.linalg.norm(v)
+        assert rep < 1e-12
+        assert np.linalg.cond(res.q) < 1e12 / 10.0
+        assert np.allclose(res.r, np.triu(res.r))
+        assert scheme.basis_sketch.shape == (scheme._op.m_rows, 20)
+        # on benign input the whitening is essentially exact
+        v2 = logscaled_matrix(2000, 20, 1e2, rng)
+        res2 = drive(SketchedTwoStageScheme(big_step=10, fused=True), v2)
+        assert np.linalg.cond(res2.q) < 10.0
+
+    def test_one_collective_per_stage_pass(self, comm4, rng):
+        """Acceptance: exactly one allreduce-equivalent collective per
+        stage pass (stage-1 per panel + one per big panel), with
+        identical charged costs and bit-identical results across the
+        loop and batched engines."""
+        n, k, s, bs = 600, 20, 5, 10
+        v = logscaled_matrix(n, k, 1e10, rng)
+        part = Partition(n, 4)
+        outputs = {}
+        for engine in ("loop", "batched"):
+            with config.engine_scope(engine):
+                from repro.parallel.communicator import SimComm
+                from repro.parallel.machine import generic_cpu
+                from repro.parallel.tracing import Tracer
+                tracer = Tracer()
+                comm = SimComm(generic_cpu(), 4, tracer, engine=engine)
+                dv = DistMultiVector.from_global(v, part, comm)
+                scheme = SketchedTwoStageScheme(big_step=bs, fused=True)
+                r = np.zeros((k, k))
+                scheme.begin_cycle(DistBackend(comm, engine=engine), dv, r)
+                snap = tracer.snapshot()
+                for lo in range(0, k, s):
+                    scheme.panel_arrived(lo, lo + s)
+                scheme.finish_cycle()
+                totals = tracer.since(snap)
+                allreduces = sum(
+                    c for (_, kern), c in totals.counts.items()
+                    if kern == "allreduce")
+                outputs[engine] = (dv.to_global(), r.copy(), allreduces,
+                                  totals.clock)
+        stage_passes = k // s + k // bs  # 4 stage-1 + 2 big-panel
+        assert outputs["loop"][2] == stage_passes
+        assert outputs["batched"][2] == stage_passes
+        assert outputs["loop"][3] == outputs["batched"][3]
+        np.testing.assert_array_equal(outputs["loop"][0],
+                                      outputs["batched"][0])
+        np.testing.assert_array_equal(outputs["loop"][1],
+                                      outputs["batched"][1])
+
+    def test_fewer_syncs_than_unfused(self, rng):
+        """fused=True must charge 3x fewer collectives than the unfused
+        sketched scheme on the NumPy-free distributed path."""
+        from repro.parallel.communicator import SimComm
+        from repro.parallel.machine import generic_cpu
+        from repro.parallel.tracing import Tracer
+        n, k = 400, 20
+        v = logscaled_matrix(n, k, 1e8, rng)
+        part = Partition(n, 4)
+        counts = {}
+        for fused in (False, True):
+            tracer = Tracer()
+            comm = SimComm(generic_cpu(), 4, tracer)
+            dv = DistMultiVector.from_global(v, part, comm)
+            scheme = SketchedTwoStageScheme(big_step=10, fused=fused)
+            r = np.zeros((k, k))
+            scheme.begin_cycle(DistBackend(comm), dv, r)
+            for lo in range(0, k, 5):
+                scheme.panel_arrived(lo, lo + 5)
+            scheme.finish_cycle()
+            counts[fused] = sum(c for (_, kern), c in tracer.counts.items()
+                                if kern == "allreduce")
+        # fused: 1 per stage pass (4 stage-1 + 2 big-panel); unfused: 3
+        # per pass except the two prefix-free lo=0 passes (2 each)
+        assert counts[True] == 6
+        assert counts[False] == 16
+
+    def test_reuse_is_deterministic(self, rng):
+        v = logscaled_matrix(1000, 20, 1e10, rng)
+        scheme = SketchedTwoStageScheme(big_step=20, fused=True)
+        a = drive(scheme, v)
+        b = drive(scheme, v)
+        np.testing.assert_array_equal(a.r, b.r)
+        np.testing.assert_array_equal(a.q, b.q)
+
+    def test_survives_extreme_conditioning(self, rng):
+        """At kappa=1e15 the whitened basis stays numerically full rank
+        and the factorization stays exact — the RGS contract."""
+        v = logscaled_matrix(3000, 20, 1e15, rng)
+        res = drive(SketchedTwoStageScheme(big_step=20, fused=True), v)
+        rep = np.linalg.norm(res.q @ res.r - v) / np.linalg.norm(v)
+        assert rep < 1e-10
+        sv = np.linalg.svd(res.q, compute_uv=False)
+        assert sv[-1] > 0.0 and np.linalg.cond(res.q) < 0.1 / EPS
+
+
 class TestDistributedEquivalence:
     @pytest.mark.parametrize("make_scheme", [
         lambda: RBCGSScheme(),

@@ -23,7 +23,7 @@ class TestWorkflow:
         yaml = pytest.importorskip("yaml")
         doc = yaml.safe_load(WORKFLOW.read_text())
         jobs = doc["jobs"]
-        assert {"lint", "tier1", "bench-smoke"} <= set(jobs)
+        assert {"lint", "tier1", "bench-smoke", "nightly"} <= set(jobs)
         for name, spec in jobs.items():
             assert spec.get("steps"), f"job {name} has no steps"
             for step in spec["steps"]:
@@ -33,15 +33,89 @@ class TestWorkflow:
                          for step in jobs["tier1"]["steps"])
         assert "PYTHONPATH=src python -m pytest -x -q" in runs
 
+    def test_tier1_engine_matrix(self):
+        """Both kernel engines are first-class tier-1 matrix legs (not a
+        bolt-on second pytest step)."""
+        yaml = pytest.importorskip("yaml")
+        doc = yaml.safe_load(WORKFLOW.read_text())
+        tier1 = doc["jobs"]["tier1"]
+        matrix = tier1["strategy"]["matrix"]
+        assert set(matrix["engine"]) == {"batched", "loop"}
+        assert len(matrix["python-version"]) >= 3
+        runs = "\n".join(step.get("run", "") for step in tier1["steps"])
+        assert "REPRO_ENGINE=${{ matrix.engine }}" in runs
+        # exactly one pytest invocation: the engine axis replaced the
+        # old second step
+        assert runs.count("python -m pytest") == 1
+
+    def test_setup_python_uses_pip_cache(self):
+        """Every setup-python step caches pip to keep matrix wall-clock
+        flat."""
+        yaml = pytest.importorskip("yaml")
+        doc = yaml.safe_load(WORKFLOW.read_text())
+        seen = 0
+        for name, spec in doc["jobs"].items():
+            for step in spec["steps"]:
+                if "setup-python" in str(step.get("uses", "")):
+                    seen += 1
+                    assert step["with"].get("cache") == "pip", (
+                        f"job {name}: setup-python step without pip cache")
+        assert seen >= 4
+
+    def test_nightly_job(self):
+        """The scheduled nightly runs the full suite including slow
+        tests plus the experiment smokes, and uploads their artifacts."""
+        yaml = pytest.importorskip("yaml")
+        doc = yaml.safe_load(WORKFLOW.read_text())
+        # a schedule trigger exists (yaml parses the 'on' key as True)
+        triggers = doc.get("on") or doc.get(True)
+        assert "schedule" in triggers
+        assert triggers["schedule"][0]["cron"].split()[:2] != ["0", "0"]
+        nightly = doc["jobs"]["nightly"]
+        assert "schedule" in nightly["if"]
+        assert set(nightly["strategy"]["matrix"]["engine"]) == {"batched",
+                                                               "loop"}
+        runs = "\n".join(step.get("run", "") for step in nightly["steps"])
+        assert "slow" in runs
+        assert "sketch_stability" in runs
+        assert "rgs_convergence" in runs
+        uploads = [step for step in nightly["steps"]
+                   if "upload-artifact" in str(step.get("uses", ""))]
+        assert uploads and uploads[0]["with"]["path"] == "experiment-out/"
+        # nightly-only jobs must not run the PR matrix twice
+        assert doc["jobs"]["tier1"]["if"] == "github.event_name != 'schedule'"
+
+    def test_bench_smoke_gates_all_baselines(self):
+        yaml = pytest.importorskip("yaml")
+        doc = yaml.safe_load(WORKFLOW.read_text())
+        runs = "\n".join(step.get("run", "")
+                         for step in doc["jobs"]["bench-smoke"]["steps"])
+        for artifact in ("BENCH_kernels", "BENCH_sketch", "BENCH_gmres"):
+            assert (f"benchmarks/{artifact}.json" in runs
+                    and f"bench-out/{artifact}.json" in runs), (
+                f"{artifact} not gated against its committed baseline")
+        assert "--threshold 3.0" in runs
+
     def test_referenced_files_exist(self):
         text = WORKFLOW.read_text()
         for ref in ("scripts/compare_bench.py",
                     "benchmarks/bench_kernels.py",
                     "benchmarks/BENCH_kernels.json",
                     "benchmarks/bench_sketch_kernels.py",
-                    "benchmarks/BENCH_sketch.json"):
-            assert ref in text, f"{ref} not exercised by CI"
-            assert (REPO / ref).exists(), f"{ref} missing from repo"
+                    "benchmarks/BENCH_sketch.json",
+                    "benchmarks/bench_sstep_gmres.py",
+                    "benchmarks/BENCH_gmres.json",
+                    "src/repro/experiments/sketch_stability.py",
+                    "src/repro/experiments/rgs_convergence.py"):
+            path = ref
+            if ref.startswith("src/repro/experiments/"):
+                # referenced as a module invocation in the nightly job
+                module = ref.removeprefix("src/repro/experiments/")
+                assert module.removesuffix(".py") in text, (
+                    f"{ref} not exercised by CI")
+            else:
+                assert ref in text, f"{ref} not exercised by CI"
+            assert (REPO / path).exists(), f"{ref} missing from repo"
 
 
 class TestCommittedBaseline:
@@ -70,6 +144,22 @@ class TestCommittedBaseline:
             batched = art.record(f"test_sketch_apply[{family}-batched]")
             assert loop.extra["modeled_seconds"] == \
                 batched.extra["modeled_seconds"]
+
+    def test_gmres_baseline_artifact(self):
+        """The committed end-to-end solver baseline covers the classical
+        pipeline under both engines plus the randomized solve path, with
+        engine-identical modeled solver seconds."""
+        from repro.bench.artifacts import load_artifact
+        art = load_artifact(REPO / "benchmarks" / "BENCH_gmres.json")
+        assert art.name == "gmres"
+        loop = art.record("test_solve_two_stage[loop]")
+        batched = art.record("test_solve_two_stage[batched]")
+        assert loop.extra["modeled_seconds"] == \
+            batched.extra["modeled_seconds"]
+        assert loop.extra["iterations"] == batched.extra["iterations"]
+        rgs = art.record("test_solve_rgs_sketched")
+        assert rgs.extra["iterations"] > 0
+        assert art.record("test_solve_bcgs_pip2").extra["sync_count"] > 0
 
 
 class TestPyproject:
