@@ -43,7 +43,8 @@ def check():
 
 
 #: Modules whose artifact name differs from the ``bench_<name>`` stem.
-ARTIFACT_ALIASES = {"sketch_kernels": "sketch", "sstep_gmres": "gmres"}
+ARTIFACT_ALIASES = {"sketch_kernels": "sketch", "sstep_gmres": "gmres",
+                    "precision_kernels": "precision"}
 
 
 def _artifact_name(fullname: str) -> str:

@@ -22,7 +22,8 @@ See ``examples/quickstart.py`` and README.md.
 """
 
 from repro._version import __version__
-from repro import config, dd, distla, matrices, ortho, parallel, precond, sketch
+from repro import (config, dd, distla, matrices, ortho, parallel, precision,
+                   precond, sketch)
 from repro.exceptions import (
     CholeskyBreakdownError,
     ConfigurationError,
@@ -38,6 +39,7 @@ from repro.ortho import (
     CholQR2,
     HouseholderQR,
     MixedPrecisionCholQR,
+    MixedPrecisionTwoStageScheme,
     RBCGSScheme,
     ShiftedCholQR,
     SketchedCholQR,
@@ -47,7 +49,8 @@ from repro.ortho import (
     get_intra_qr,
     get_scheme,
 )
-from repro.krylov import (Simulation, adaptive_sstep_gmres, gmres,
+from repro.precision import PrecisionPolicy, resolve_policy
+from repro.krylov import (Simulation, adaptive_sstep_gmres, gmres, gmres_ir,
                           pipelined_gmres, sstep_gmres)
 
 __all__ = [
@@ -58,6 +61,7 @@ __all__ = [
     "matrices",
     "ortho",
     "parallel",
+    "precision",
     "precond",
     "sketch",
     "ReproError",
@@ -71,6 +75,9 @@ __all__ = [
     "TwoStageScheme",
     "RBCGSScheme",
     "SketchedTwoStageScheme",
+    "MixedPrecisionTwoStageScheme",
+    "PrecisionPolicy",
+    "resolve_policy",
     "get_intra_qr",
     "get_scheme",
     "CholQR",
@@ -83,6 +90,7 @@ __all__ = [
     "Simulation",
     "gmres",
     "sstep_gmres",
+    "gmres_ir",
     "adaptive_sstep_gmres",
     "pipelined_gmres",
 ]

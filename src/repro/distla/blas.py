@@ -96,9 +96,12 @@ def dot_dd_dist(x: DistMultiVector, y: DistMultiVector
         his.append(hi)
         los.append(lo)
     dd_pen = comm.cost.dd_factor()
+    # the panel streams at its storage word size (fp32 shards move half
+    # the fp64 bytes); only the dd flop penalty is precision-independent
+    wb = max(x.word_bytes, y.word_bytes)
     costs = []
     for xs in x.shards:
-        base = comm.cost.gemm(xs.shape[0], x.n_cols, y.n_cols)
+        base = comm.cost.gemm(xs.shape[0], x.n_cols, y.n_cols, word_bytes=wb)
         flops_term = (2.0 * xs.shape[0] * x.n_cols * y.n_cols * dd_pen
                       / comm.machine.peak_flops)
         costs.append(max(base, comm.machine.kernel_latency + flops_term))

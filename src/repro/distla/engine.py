@@ -25,6 +25,17 @@ Selection: pass ``engine="loop"|"batched"`` to a blas call or a
 :class:`~repro.ortho.backend.DistBackend`, bind one per communicator
 (``SimComm(..., engine=...)``), or set the process default through
 :func:`repro.config.set_engine` / the ``REPRO_ENGINE`` variable.
+
+Storage precision: operands may store ``fp32``/``bf16`` (see
+:mod:`repro.precision`).  Both engines then follow the same contract:
+shard-local partials are *accumulated in float64* (unless every operand
+explicitly opts into native ``fp32`` accumulation), the reduction tree
+is always float64, and results written back into low-precision storage
+are rounded to the storage grid.  Loop and batched paths apply the
+identical casts in the identical order, so results stay bit-identical
+per dtype, and local kernels are charged at the operands' storage word
+size (``fp32`` panels move half the fp64 bytes).  All-fp64 operands
+take the exact historical code paths.
 """
 
 from __future__ import annotations
@@ -33,6 +44,33 @@ import numpy as np
 import scipy.linalg
 
 from repro import config
+
+
+def _all_fp64(*mvs) -> bool:
+    """True when every operand stores fp64 (the historical fast paths)."""
+    return all(mv.storage == "fp64" for mv in mvs)
+
+
+def _acc_dtype(*mvs) -> np.dtype:
+    """Dtype shard-local partials accumulate in before the fp64 tree.
+
+    float64 unless *every* operand is low-precision storage that opted
+    into native fp32 accumulation (``PrecisionPolicy(accumulate="fp32")``).
+    """
+    if all(mv.storage != "fp64" and mv.accumulate == "fp32" for mv in mvs):
+        return np.dtype(np.float32)
+    return np.dtype(np.float64)
+
+
+def _cast(arr: np.ndarray, dtype: np.dtype) -> np.ndarray:
+    """``astype`` that is a no-op (same object) when already ``dtype``."""
+    return arr if arr.dtype == dtype else arr.astype(dtype)
+
+
+def _wb(*mvs) -> float:
+    """Charged word size of a kernel over ``mvs`` (largest operand wins:
+    mixed-precision kernels still stream their widest operand)."""
+    return max(mv.word_bytes for mv in mvs)
 
 
 class KernelEngine:
@@ -56,8 +94,11 @@ class LoopEngine(KernelEngine):
     # -- reductions -----------------------------------------------------
     def block_dot(self, x, y) -> np.ndarray:
         comm = x.comm
-        partials = [xs.T @ ys for xs, ys in zip(x.shards, y.shards)]
-        costs = [comm.cost.gemm(xs.shape[0], x.n_cols, y.n_cols)
+        acc = _acc_dtype(x, y)
+        partials = [_cast(xs, acc).T @ _cast(ys, acc)
+                    for xs, ys in zip(x.shards, y.shards)]
+        costs = [comm.cost.gemm(xs.shape[0], x.n_cols, y.n_cols,
+                                word_bytes=_wb(x, y))
                  for xs in x.shards]
         comm.charge_local("dot", costs)
         return comm.allreduce_sum(partials)
@@ -66,16 +107,24 @@ class LoopEngine(KernelEngine):
         comm = pairs[0][0].comm
         groups = []
         for x, y in pairs:
-            groups.append([xs.T @ ys for xs, ys in zip(x.shards, y.shards)])
-            costs = [comm.cost.gemm(xs.shape[0], x.n_cols, y.n_cols)
+            acc = _acc_dtype(x, y)
+            groups.append([_cast(xs, acc).T @ _cast(ys, acc)
+                           for xs, ys in zip(x.shards, y.shards)])
+            costs = [comm.cost.gemm(xs.shape[0], x.n_cols, y.n_cols,
+                                    word_bytes=_wb(x, y))
                      for xs in x.shards]
             comm.charge_local("dot", costs)
         return comm.fused_allreduce_sum(groups)
 
     def column_norms(self, x) -> np.ndarray:
         comm = x.comm
-        partials = [np.einsum("ij,ij->j", s, s) for s in x.shards]
-        costs = [comm.cost.blas1(s.size, n_streams=1, writes=0)
+        acc = _acc_dtype(x)
+        partials = []
+        for s in x.shards:
+            ss = _cast(s, acc)
+            partials.append(np.einsum("ij,ij->j", ss, ss))
+        costs = [comm.cost.blas1(s.size, n_streams=1, writes=0,
+                                 word_bytes=x.word_bytes)
                  for s in x.shards]
         comm.charge_local("norm", costs)
         sq = comm.allreduce_sum(partials)
@@ -84,55 +133,87 @@ class LoopEngine(KernelEngine):
     # -- local (communication-free) updates ------------------------------
     def block_update(self, v, q, r: np.ndarray) -> None:
         comm = v.comm
-        for vs, qs in zip(v.shards, q.shards):
-            vs -= qs @ r
-        costs = [comm.cost.gemm_tall_update(vs.shape[0], q.n_cols, v.n_cols)
+        if _all_fp64(v, q):
+            for vs, qs in zip(v.shards, q.shards):
+                vs -= qs @ r
+        else:
+            f64 = np.dtype(np.float64)
+            for vs, qs in zip(v.shards, q.shards):
+                vs[...] = v.quantize(_cast(vs, f64) - _cast(qs, f64) @ r)
+        costs = [comm.cost.gemm_tall_update(vs.shape[0], q.n_cols, v.n_cols,
+                                            word_bytes=_wb(v, q))
                  for vs in v.shards]
         comm.charge_local("update", costs)
 
     def trsm_inplace(self, v, r: np.ndarray) -> None:
         comm = v.comm
         k = v.n_cols
+        f64 = np.dtype(np.float64)
+        fast = _all_fp64(v)
         for vs in v.shards:
             if vs.shape[0]:
                 # Solve R.T x.T = v.T  <=>  x = v R^{-1}; use the transposed
                 # triangular solve to stay in C-contiguous layout.
-                vs[...] = scipy.linalg.solve_triangular(
-                    r, vs.T, trans="T", lower=False).T
-        costs = [comm.cost.trsm(vs.shape[0], k) for vs in v.shards]
+                solved = scipy.linalg.solve_triangular(
+                    r, _cast(vs, f64).T, trans="T", lower=False).T
+                vs[...] = solved if fast else v.quantize(solved)
+        costs = [comm.cost.trsm(vs.shape[0], k, word_bytes=v.word_bytes)
+                 for vs in v.shards]
         comm.charge_local("trsm", costs)
 
     def scale_columns(self, v, scales: np.ndarray) -> None:
         comm = v.comm
-        for vs in v.shards:
-            vs *= scales[np.newaxis, :]
-        costs = [comm.cost.blas1(vs.size, n_streams=1, writes=1)
+        if _all_fp64(v):
+            for vs in v.shards:
+                vs *= scales[np.newaxis, :]
+        else:
+            f64 = np.dtype(np.float64)
+            for vs in v.shards:
+                vs[...] = v.quantize(_cast(vs, f64) * scales[np.newaxis, :])
+        costs = [comm.cost.blas1(vs.size, n_streams=1, writes=1,
+                                 word_bytes=v.word_bytes)
                  for vs in v.shards]
         comm.charge_local("scale", costs)
 
     def lincomb(self, out, terms) -> None:
         comm = out.comm
+        fast = _all_fp64(out, *[t[1] for t in terms])
+        f64 = np.dtype(np.float64)
         for r, outs in enumerate(out.shards):
-            acc = terms[0][0] * terms[0][1].shards[r]
-            for alpha, x in terms[1:]:
-                acc += alpha * x.shards[r]
-            outs[...] = acc
-        costs = [comm.cost.blas1(s.size, n_streams=len(terms), writes=1)
+            if fast:
+                acc = terms[0][0] * terms[0][1].shards[r]
+                for alpha, x in terms[1:]:
+                    acc += alpha * x.shards[r]
+                outs[...] = acc
+            else:
+                acc = terms[0][0] * _cast(terms[0][1].shards[r], f64)
+                for alpha, x in terms[1:]:
+                    acc += alpha * _cast(x.shards[r], f64)
+                outs[...] = out.quantize(acc)
+        costs = [comm.cost.blas1(s.size, n_streams=len(terms), writes=1,
+                                 word_bytes=_wb(out, *[t[1] for t in terms]))
                  for s in out.shards]
         comm.charge_local("axpy", costs)
 
     def copy_into(self, dst, src) -> None:
         comm = dst.comm
-        dst.assign_from(src)
-        costs = [comm.cost.blas1(s.size, n_streams=1, writes=1)
+        dst.assign_from(src)  # rounds to dst's storage grid when needed
+        costs = [comm.cost.blas1(s.size, n_streams=1, writes=1,
+                                 word_bytes=_wb(dst, src))
                  for s in src.shards]
         comm.charge_local("axpy", costs)
 
     def matvec_small(self, v, coeffs: np.ndarray, out) -> None:
         comm = v.comm
-        for vs, outs in zip(v.shards, out.shards):
-            outs[...] = vs @ coeffs
-        costs = [comm.cost.gemm(vs.shape[0], v.n_cols, out.n_cols)
+        if _all_fp64(v, out):
+            for vs, outs in zip(v.shards, out.shards):
+                outs[...] = vs @ coeffs
+        else:
+            f64 = np.dtype(np.float64)
+            for vs, outs in zip(v.shards, out.shards):
+                outs[...] = out.quantize(_cast(vs, f64) @ coeffs)
+        costs = [comm.cost.gemm(vs.shape[0], v.n_cols, out.n_cols,
+                                word_bytes=_wb(v, out))
                  for vs in v.shards]
         comm.charge_local("update", costs)
 
@@ -146,10 +227,14 @@ class LoopEngine(KernelEngine):
         """
         comm = v.comm
         offsets = v.partition.offsets
+        # operators upcast low-precision shards internally, so partial
+        # sketches are always fp64-accumulated; charge at the storage
+        # word size (the shard stream dominates the sketch kernel)
         partials = [op.partial(shard, int(offsets[r]))
                     for r, shard in enumerate(v.shards)]
         comm.charge_local(
-            "dot", [op.local_cost(comm.cost, s.shape[0], v.n_cols)
+            "dot", [op.local_cost(comm.cost, s.shape[0], v.n_cols,
+                                  word_bytes=v.word_bytes)
                     for s in v.shards])
         return partials
 
@@ -167,9 +252,12 @@ class LoopEngine(KernelEngine):
         comm = v.comm
         groups = []
         for x, y in pairs:
-            groups.append([xs.T @ ys for xs, ys in zip(x.shards, y.shards)])
+            acc = _acc_dtype(x, y)
+            groups.append([_cast(xs, acc).T @ _cast(ys, acc)
+                           for xs, ys in zip(x.shards, y.shards)])
             comm.charge_local(
-                "dot", [comm.cost.gemm(xs.shape[0], x.n_cols, y.n_cols)
+                "dot", [comm.cost.gemm(xs.shape[0], x.n_cols, y.n_cols,
+                                       word_bytes=_wb(x, y))
                         for xs in x.shards])
         groups.append(self._sketch_partials(v, op))
         results = comm.fused_allreduce_sum(groups)
@@ -220,9 +308,11 @@ class BatchedEngine(LoopEngine):
             return super().block_dot(x, y)
         xs, ys = stacks
         comm = x.comm
-        partials = np.matmul(xs.transpose(0, 2, 1), ys)
+        acc = _acc_dtype(x, y)
+        partials = np.matmul(_cast(xs, acc).transpose(0, 2, 1), _cast(ys, acc))
         comm.charge_uniform(
-            "dot", comm.cost.gemm(xs.shape[1], x.n_cols, y.n_cols))
+            "dot", comm.cost.gemm(xs.shape[1], x.n_cols, y.n_cols,
+                                  word_bytes=_wb(x, y)))
         return comm.allreduce_sum_stacked(partials)
 
     def block_dot_multi(self, pairs) -> list[np.ndarray]:
@@ -235,9 +325,12 @@ class BatchedEngine(LoopEngine):
         comm = pairs[0][0].comm
         groups = []
         for (xs, ys), (x, y) in zip(stacks, pairs):
-            groups.append(np.matmul(xs.transpose(0, 2, 1), ys))
+            acc = _acc_dtype(x, y)
+            groups.append(np.matmul(_cast(xs, acc).transpose(0, 2, 1),
+                                    _cast(ys, acc)))
             comm.charge_uniform(
-                "dot", comm.cost.gemm(xs.shape[1], x.n_cols, y.n_cols))
+                "dot", comm.cost.gemm(xs.shape[1], x.n_cols, y.n_cols,
+                                      word_bytes=_wb(x, y)))
         return comm.fused_allreduce_sum_stacked(groups)
 
     def column_norms(self, x) -> np.ndarray:
@@ -245,9 +338,11 @@ class BatchedEngine(LoopEngine):
         if stack is None:
             return super().column_norms(x)
         comm = x.comm
-        partials = np.einsum("rij,rij->rj", stack, stack)
+        work = _cast(stack, _acc_dtype(x))
+        partials = np.einsum("rij,rij->rj", work, work)
         comm.charge_uniform(
-            "norm", comm.cost.blas1(stack[0].size, n_streams=1, writes=0))
+            "norm", comm.cost.blas1(stack[0].size, n_streams=1, writes=0,
+                                    word_bytes=x.word_bytes))
         sq = comm.allreduce_sum_stacked(partials)
         return np.sqrt(sq)
 
@@ -258,10 +353,15 @@ class BatchedEngine(LoopEngine):
             return super().block_update(v, q, r)
         sv, sq = stacks
         comm = v.comm
-        sv -= np.matmul(sq, r)
+        if _all_fp64(v, q):
+            sv -= np.matmul(sq, r)
+        else:
+            f64 = np.dtype(np.float64)
+            sv[...] = v.quantize(_cast(sv, f64) - np.matmul(_cast(sq, f64), r))
         comm.charge_uniform(
             "update",
-            comm.cost.gemm_tall_update(sv.shape[1], q.n_cols, v.n_cols))
+            comm.cost.gemm_tall_update(sv.shape[1], q.n_cols, v.n_cols,
+                                       word_bytes=_wb(v, q)))
 
     def trsm_inplace(self, v, r: np.ndarray) -> None:
         stack = v.stack
@@ -272,11 +372,13 @@ class BatchedEngine(LoopEngine):
         if rows and k:
             # One triangular solve over all ranks' rows; reshape copies
             # only when the stack is a strided column view.
-            flat = stack.reshape(ranks * rows, k)
+            flat = _cast(stack, np.dtype(np.float64)).reshape(ranks * rows, k)
             solved = scipy.linalg.solve_triangular(
                 r, flat.T, trans="T", lower=False).T
-            stack[...] = solved.reshape(ranks, rows, k)
-        comm.charge_uniform("trsm", comm.cost.trsm(rows, k))
+            solved = solved.reshape(ranks, rows, k)
+            stack[...] = (solved if _all_fp64(v) else v.quantize(solved))
+        comm.charge_uniform("trsm", comm.cost.trsm(rows, k,
+                                                   word_bytes=v.word_bytes))
 
     def scale_columns(self, v, scales: np.ndarray) -> None:
         stacks = self._stream_stacks(v)
@@ -284,31 +386,48 @@ class BatchedEngine(LoopEngine):
             return super().scale_columns(v, scales)
         stack = stacks[0]
         comm = v.comm
-        stack *= scales[np.newaxis, np.newaxis, :]
+        if _all_fp64(v):
+            stack *= scales[np.newaxis, np.newaxis, :]
+        else:
+            f64 = np.dtype(np.float64)
+            stack[...] = v.quantize(_cast(stack, f64)
+                                    * scales[np.newaxis, np.newaxis, :])
         comm.charge_uniform(
-            "scale", comm.cost.blas1(stack[0].size, n_streams=1, writes=1))
+            "scale", comm.cost.blas1(stack[0].size, n_streams=1, writes=1,
+                                     word_bytes=v.word_bytes))
 
     def lincomb(self, out, terms) -> None:
         stacks = self._stream_stacks(out, *[t[1] for t in terms])
         if stacks is None:
             return super().lincomb(out, terms)
         comm = out.comm
-        acc = terms[0][0] * stacks[1]
-        for (alpha, _), stack in zip(terms[1:], stacks[2:]):
-            acc += alpha * stack
-        stacks[0][...] = acc
+        fast = _all_fp64(out, *[t[1] for t in terms])
+        f64 = np.dtype(np.float64)
+        if fast:
+            acc = terms[0][0] * stacks[1]
+            for (alpha, _), stack in zip(terms[1:], stacks[2:]):
+                acc += alpha * stack
+            stacks[0][...] = acc
+        else:
+            acc = terms[0][0] * _cast(stacks[1], f64)
+            for (alpha, _), stack in zip(terms[1:], stacks[2:]):
+                acc += alpha * _cast(stack, f64)
+            stacks[0][...] = out.quantize(acc)
         comm.charge_uniform(
             "axpy",
-            comm.cost.blas1(stacks[0][0].size, n_streams=len(terms), writes=1))
+            comm.cost.blas1(stacks[0][0].size, n_streams=len(terms), writes=1,
+                            word_bytes=_wb(out, *[t[1] for t in terms])))
 
     def copy_into(self, dst, src) -> None:
         stacks = self._stream_stacks(dst, src)
         if stacks is None:
             return super().copy_into(dst, src)
         comm = dst.comm
-        stacks[0][...] = stacks[1]
+        stacks[0][...] = (stacks[1] if dst.storage == src.storage
+                          else dst.quantize(stacks[1]))
         comm.charge_uniform(
-            "axpy", comm.cost.blas1(stacks[1][0].size, n_streams=1, writes=1))
+            "axpy", comm.cost.blas1(stacks[1][0].size, n_streams=1, writes=1,
+                                    word_bytes=_wb(dst, src)))
 
     def matvec_small(self, v, coeffs: np.ndarray, out) -> None:
         stacks = self._stream_stacks(out, v)
@@ -316,9 +435,14 @@ class BatchedEngine(LoopEngine):
             return super().matvec_small(v, coeffs, out)
         sout, sv = stacks
         comm = v.comm
-        sout[...] = np.matmul(sv, coeffs)
+        if _all_fp64(v, out):
+            sout[...] = np.matmul(sv, coeffs)
+        else:
+            sout[...] = out.quantize(np.matmul(_cast(sv, np.dtype(np.float64)),
+                                               coeffs))
         comm.charge_uniform(
-            "update", comm.cost.gemm(sv.shape[1], v.n_cols, out.n_cols))
+            "update", comm.cost.gemm(sv.shape[1], v.n_cols, out.n_cols,
+                                     word_bytes=_wb(v, out)))
 
     # -- sketching --------------------------------------------------------
     def _sketch_partials_stacked(self, v, op) -> "np.ndarray | None":
@@ -329,7 +453,8 @@ class BatchedEngine(LoopEngine):
         comm = v.comm
         partials = op.partial_stack(stack)
         comm.charge_uniform(
-            "dot", op.local_cost(comm.cost, stack.shape[1], v.n_cols))
+            "dot", op.local_cost(comm.cost, stack.shape[1], v.n_cols,
+                                 word_bytes=v.word_bytes))
         return partials
 
     def sketch_apply(self, v, op) -> np.ndarray:
@@ -351,9 +476,12 @@ class BatchedEngine(LoopEngine):
         comm = v.comm
         groups = []
         for (xs, ys), (x, y) in zip(stacks, pairs):
-            groups.append(np.matmul(xs.transpose(0, 2, 1), ys))
+            acc = _acc_dtype(x, y)
+            groups.append(np.matmul(_cast(xs, acc).transpose(0, 2, 1),
+                                    _cast(ys, acc)))
             comm.charge_uniform(
-                "dot", comm.cost.gemm(xs.shape[1], x.n_cols, y.n_cols))
+                "dot", comm.cost.gemm(xs.shape[1], x.n_cols, y.n_cols,
+                                      word_bytes=_wb(x, y)))
         groups.append(self._sketch_partials_stacked(v, op))
         results = comm.fused_allreduce_sum_stacked(groups)
         return results[:-1], results[-1]

@@ -13,6 +13,16 @@ The batched execution engine (:mod:`repro.distla.engine`) runs its
 kernels directly on that stack — one batched GEMM over the rank axis
 instead of a Python loop — while the per-rank ``shards`` views stay valid
 for loop-path code and for the simulated sparse kernels.
+
+Storage precision: every multivector carries a storage spec
+(:data:`repro.precision.dtypes.STORAGE_SPECS` — ``"fp64"``/``"fp32"``/
+``"bf16"``) that decides the shard container dtype and the word size the
+cost model charges.  Low-precision vectors are *storage* formats only:
+the kernel engines accumulate every reduction in float64 and round
+results back to the storage grid on write (``"bf16"`` values ride in
+float32 containers but are rounded to the bfloat16 grid and charged at
+2 bytes/word).  The default ``"fp64"`` reproduces the historical
+behavior bit-for-bit.
 """
 
 from __future__ import annotations
@@ -22,6 +32,7 @@ import numpy as np
 from repro.exceptions import ShapeError
 from repro.parallel.communicator import SimComm
 from repro.parallel.partition import Partition
+from repro.precision import dtypes as _pdtypes
 
 
 class DistMultiVector:
@@ -32,11 +43,13 @@ class DistMultiVector:
     (shards, views, gather/scatter) and no operators.
     """
 
-    __slots__ = ("partition", "comm", "shards", "_base", "_stack")
+    __slots__ = ("partition", "comm", "shards", "storage", "accumulate",
+                 "_base", "_stack")
 
     def __init__(self, partition: Partition, comm: SimComm,
                  shards: list[np.ndarray], _base: "DistMultiVector | None" = None,
-                 _stack: np.ndarray | None = None):
+                 _stack: np.ndarray | None = None,
+                 storage: str | None = None, accumulate: str = "fp64"):
         if len(shards) != partition.ranks:
             raise ShapeError(
                 f"need {partition.ranks} shards, got {len(shards)}")
@@ -46,9 +59,34 @@ class DistMultiVector:
                 raise ShapeError(
                     f"shard {r} has shape {s.shape}, expected "
                     f"({partition.local_count(r)}, {k})")
+        if storage is None:
+            # Infer from the container dtype (callers constructing shards
+            # directly predate the precision subsystem): float32 shards
+            # are fp32 storage, everything else the fp64 default.  bf16
+            # cannot be inferred — its container IS float32 — so it must
+            # be requested explicitly.
+            storage = ("fp32" if shards and shards[0].dtype == np.float32
+                       else "fp64")
+        elif shards and shards[0].dtype != _pdtypes.container_dtype(storage):
+            # A mislabeled vector would silently compute in the wrong
+            # precision AND mischarge bytes (the engines' fast-path and
+            # word-size decisions key off `storage`).
+            raise ShapeError(
+                f"shards have dtype {shards[0].dtype}, but storage "
+                f"{storage!r} requires "
+                f"{_pdtypes.container_dtype(storage)}")
+        if accumulate not in _pdtypes.ACCUMULATE_SPECS:
+            raise ShapeError(
+                f"unknown accumulate precision {accumulate!r}; expected "
+                f"one of {_pdtypes.ACCUMULATE_SPECS}")
         self.partition = partition
         self.comm = comm
         self.shards = shards
+        self.storage = _pdtypes.validate_storage(storage)
+        # Precision shard-local kernels accumulate partial results in
+        # before the (always-float64) reduction tree; "fp32" only takes
+        # effect for low-precision storage (see repro.distla.engine).
+        self.accumulate = accumulate
         self._base = _base  # keeps the owning vector alive for views
         # (ranks, rows, k) array aliasing the shards, or None (ragged
         # partitions, or shards supplied directly by the caller).
@@ -58,18 +96,28 @@ class DistMultiVector:
     # constructors
     # ------------------------------------------------------------------
     @classmethod
-    def zeros(cls, partition: Partition, comm: SimComm, k: int) -> "DistMultiVector":
+    def zeros(cls, partition: Partition, comm: SimComm, k: int,
+              storage: str = "fp64",
+              accumulate: str = "fp64") -> "DistMultiVector":
+        dtype = _pdtypes.container_dtype(storage)
         if partition.is_uniform:
-            base = np.zeros((partition.ranks, partition.local_count(0), k))
-            return cls(partition, comm, list(base), _stack=base)
-        shards = [np.zeros((partition.local_count(r), k))
+            base = np.zeros((partition.ranks, partition.local_count(0), k),
+                            dtype=dtype)
+            return cls(partition, comm, list(base), _stack=base,
+                       storage=storage, accumulate=accumulate)
+        shards = [np.zeros((partition.local_count(r), k), dtype=dtype)
                   for r in range(partition.ranks)]
-        return cls(partition, comm, shards)
+        return cls(partition, comm, shards, storage=storage,
+                   accumulate=accumulate)
 
     @classmethod
     def from_global(cls, arr: np.ndarray, partition: Partition,
-                    comm: SimComm) -> "DistMultiVector":
-        """Scatter a global ``(n, k)`` or ``(n,)`` array into shards (copies)."""
+                    comm: SimComm, storage: str = "fp64",
+                    accumulate: str = "fp64") -> "DistMultiVector":
+        """Scatter a global ``(n, k)`` or ``(n,)`` array into shards (copies).
+
+        Values are rounded to the ``storage`` grid on the way in.
+        """
         arr = np.asarray(arr, dtype=np.float64)
         if arr.ndim == 1:
             arr = arr[:, np.newaxis]
@@ -78,12 +126,15 @@ class DistMultiVector:
                 f"array has {arr.shape[0]} rows, partition expects "
                 f"{partition.n_global}")
         if partition.is_uniform:
-            base = np.array(arr, dtype=np.float64, copy=True).reshape(
+            base = np.array(_pdtypes.quantize(arr, storage), copy=True).reshape(
                 partition.ranks, partition.local_count(0), arr.shape[1])
-            return cls(partition, comm, list(base), _stack=base)
-        shards = [np.array(arr[partition.local_slice(r)], copy=True)
+            return cls(partition, comm, list(base), _stack=base,
+                       storage=storage, accumulate=accumulate)
+        shards = [np.array(_pdtypes.quantize(arr[partition.local_slice(r)],
+                                             storage), copy=True)
                   for r in range(partition.ranks)]
-        return cls(partition, comm, shards)
+        return cls(partition, comm, shards, storage=storage,
+                   accumulate=accumulate)
 
     # ------------------------------------------------------------------
     # structure
@@ -109,6 +160,20 @@ class DistMultiVector:
         """
         return self._stack
 
+    @property
+    def np_dtype(self) -> np.dtype:
+        """Container dtype of the shards (bf16 rides in float32)."""
+        return _pdtypes.container_dtype(self.storage)
+
+    @property
+    def word_bytes(self) -> float:
+        """Bytes per stored word — what the cost model charges per element."""
+        return _pdtypes.word_bytes(self.storage)
+
+    def quantize(self, arr: np.ndarray) -> np.ndarray:
+        """Round ``arr`` to this vector's storage grid (container dtype)."""
+        return _pdtypes.quantize(arr, self.storage)
+
     def view_cols(self, cols: slice | int) -> "DistMultiVector":
         """Zero-copy view of a column range (int selects one column)."""
         if isinstance(cols, int):
@@ -116,35 +181,46 @@ class DistMultiVector:
         shards = [s[:, cols] for s in self.shards]
         stack = None if self._stack is None else self._stack[:, :, cols]
         return DistMultiVector(self.partition, self.comm, shards,
-                               _base=self._base or self, _stack=stack)
+                               _base=self._base or self, _stack=stack,
+                               storage=self.storage,
+                               accumulate=self.accumulate)
 
     def copy(self) -> "DistMultiVector":
         if self._stack is not None:
             base = self._stack.copy()  # fresh contiguous (ranks, rows, k)
             return DistMultiVector(self.partition, self.comm, list(base),
-                                   _stack=base)
+                                   _stack=base, storage=self.storage,
+                                   accumulate=self.accumulate)
         shards = [np.array(s, copy=True) for s in self.shards]
-        return DistMultiVector(self.partition, self.comm, shards)
+        return DistMultiVector(self.partition, self.comm, shards,
+                               storage=self.storage,
+                               accumulate=self.accumulate)
 
     def to_global(self) -> np.ndarray:
         """Gather into one ``(n, k)`` array (simulation-side; not costed)."""
         return np.concatenate(self.shards, axis=0)
 
     def assign_from(self, other: "DistMultiVector") -> None:
-        """Copy ``other``'s values into this vector's storage."""
+        """Copy ``other``'s values into this vector's storage.
+
+        Cross-precision copies round to this vector's storage grid.
+        """
         self._check_conformal(other)
+        same = self.storage == other.storage
         if self._stack is not None and other._stack is not None:
-            self._stack[...] = other._stack
+            self._stack[...] = (other._stack if same
+                                else self.quantize(other._stack))
             return
         for mine, theirs in zip(self.shards, other.shards):
-            mine[...] = theirs
+            mine[...] = theirs if same else self.quantize(theirs)
 
     def fill(self, value: float) -> None:
+        value = self.quantize(np.asarray(value, dtype=np.float64))
         if self._stack is not None:
             self._stack[...] = value
             return
         for s in self.shards:
-            s.fill(value)
+            s[...] = value
 
     def _check_conformal(self, other: "DistMultiVector") -> None:
         if self.partition != other.partition:
@@ -154,5 +230,6 @@ class DistMultiVector:
                 f"column mismatch: {self.n_cols} vs {other.n_cols}")
 
     def __repr__(self) -> str:
+        extra = "" if self.storage == "fp64" else f", storage={self.storage!r}"
         return (f"DistMultiVector(shape={self.shape}, "
-                f"ranks={self.partition.ranks})")
+                f"ranks={self.partition.ranks}{extra})")

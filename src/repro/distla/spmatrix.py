@@ -115,8 +115,13 @@ class DistSparseMatrix:
         if kernel_phase_halo:
             comm.charge_halo(self.halo.recv_bytes_by_peer)
         costs = []
+        quantized = out.storage != "fp64"
         for rank, block in enumerate(self.local_blocks):
-            out.shards[rank][:, 0] = block @ x_global
+            # scipy upcasts low-precision operands to float64 for the
+            # local SpMV; results round back to ``out``'s storage grid.
+            y_local = block @ x_global
+            out.shards[rank][:, 0] = (out.quantize(y_local) if quantized
+                                      else y_local)
             touched = (self.partition.local_count(rank)
                        + int(self.halo.halo_counts[rank]))
             costs.append(comm.cost.spmv(block.nnz, block.shape[0], touched))

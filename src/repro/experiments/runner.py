@@ -17,6 +17,7 @@ from repro.experiments import (
     fig9,
     fig10_12,
     fig13,
+    precision_stability,
     rgs_convergence,
     sketch_stability,
     table2,
@@ -39,6 +40,7 @@ _DISPATCH = {
     "ablations": ablations.main,
     "sketch": sketch_stability.main,
     "rgs": rgs_convergence.main,
+    "precision": precision_stability.main,
 }
 
 
@@ -62,6 +64,8 @@ def run_all_quick() -> None:
     print(ablations.run_step_strategies(nx=32).render(), "\n")
     print(sketch_stability.run(n=2000).render(), "\n")
     print(rgs_convergence.run(n=250, maxiter=800).render(), "\n")
+    for t in precision_stability.run(n=1500, nx=20, maxiter=3000):
+        print(t.render(), "\n")
 
 
 def main(argv: list | None = None) -> int:

@@ -28,11 +28,14 @@ from __future__ import annotations
 
 import numpy as np
 
+import math
+
 from repro.config import (
     DEFAULT_RESTART,
     DEFAULT_SEED,
     DEFAULT_STEP_SIZE,
     DEFAULT_TOL,
+    EPS,
 )
 from repro.distla import blas as dblas
 from repro.exceptions import CholeskyBreakdownError, ConfigurationError
@@ -48,16 +51,22 @@ from repro.krylov.result import ConvergenceHistory, SolveResult
 from repro.krylov.simulation import Simulation
 from repro.ortho.base import BlockOrthoScheme, OrthoObserver
 from repro.ortho.bcgs_pip import BCGSPIP2Scheme
+from repro.precision.kernels import MixedPrecisionTwoStageScheme
+from repro.precision.policy import PrecisionPolicy, resolve_policy
 from repro.precond.base import Preconditioner
 from repro.sketch import (
     canonical_family,
     derive_seed,
+    leave_one_out_distortion,
     make_operator,
     sketch_rows,
 )
 
-#: Valid ``solve_mode`` values for :func:`sstep_gmres`.
-SOLVE_MODES = ("classical", "sketched")
+#: Valid ``solve_mode`` values for :func:`sstep_gmres`.  ``"adaptive"``
+#: starts sketched (so the basis-condition / residual-gap monitors are
+#: live) and switches to the cheaper classical coordinate solve — and
+#: back — as the diagnostics cross their thresholds.
+SOLVE_MODES = ("classical", "sketched", "adaptive")
 
 
 class _SolveSketch:
@@ -144,7 +153,10 @@ def sstep_gmres(sim: Simulation, b: np.ndarray,
                 solve_mode: str = "classical",
                 sketch_operator: str = "sparse",
                 sketch_oversample: int | None = None,
-                sketch_seed: int | None = None) -> SolveResult:
+                sketch_seed: int | None = None,
+                precision: "PrecisionPolicy | str | None" = None,
+                adaptive_cond_threshold: float = 1.0e6,
+                adaptive_gap_threshold: float | None = None) -> SolveResult:
     """Solve ``A x = b`` with s-step GMRES on the simulated machine.
 
     Parameters
@@ -180,6 +192,26 @@ def sstep_gmres(sim: Simulation, b: np.ndarray,
         sketched solve path (ignored in classical mode).  When the
         scheme exposes :attr:`BlockOrthoScheme.basis_sketch`, its sketch
         is reused and these knobs are irrelevant.
+    precision:
+        A :class:`~repro.precision.policy.PrecisionPolicy` (or registered
+        name, e.g. ``"fp32"``) for the Krylov basis: the basis is stored
+        — and its panel traffic charged — at ``policy.storage``, local
+        reductions accumulate per ``policy.accumulate``, and when no
+        ``scheme`` is given a ``policy.gram != "fp64"`` selects the
+        mixed-precision two-stage scheme.  The right-hand side, iterate
+        and residual always stay fp64; pair low-precision storage with
+        :func:`repro.krylov.ir.gmres_ir` to recover fp64-level backward
+        error.
+    adaptive_cond_threshold / adaptive_gap_threshold:
+        Switching thresholds for ``solve_mode="adaptive"``: the solver
+        drops from sketched to classical once a cycle's basis-condition
+        estimate stays below ``adaptive_cond_threshold`` AND its
+        residual gap below ``adaptive_gap_threshold`` (default
+        ``sqrt(eps)``), and escalates back to sketched as soon as the
+        gap crosses the threshold.  Requires a scheme that actually
+        orthogonalizes (not the fused RGS-contract schemes, whose bases
+        are only sketch-orthonormal and never valid for the classical
+        coordinate solve).
     """
     if restart < s:
         raise ConfigurationError(f"restart {restart} must be >= step {s}")
@@ -187,7 +219,12 @@ def sstep_gmres(sim: Simulation, b: np.ndarray,
         raise ConfigurationError(
             f"unknown solve_mode {solve_mode!r}; expected one of "
             f"{SOLVE_MODES}")
-    scheme = scheme if scheme is not None else BCGSPIP2Scheme()
+    policy = resolve_policy(precision)
+    if scheme is None:
+        scheme = (MixedPrecisionTwoStageScheme(big_step=restart,
+                                               gram=policy.gram,
+                                               breakdown="shift")
+                  if policy.gram != "fp64" else BCGSPIP2Scheme())
     poly = _resolve_basis(basis)
     tracer = sim.tracer
     backend = sim.backend
@@ -202,7 +239,8 @@ def sstep_gmres(sim: Simulation, b: np.ndarray,
     b_vec = sim.vector_from(b)
     x_vec = sim.vector_from(x0 if x0 is not None else np.zeros(sim.n))
     r_vec = sim.zeros(1)
-    basis_mv = sim.zeros(restart + 1)
+    basis_mv = sim.zeros(restart + 1, storage=policy.storage,
+                         accumulate=policy.accumulate)
     r_factor = np.zeros((restart + 1, restart + 1))
     w_factor = np.zeros((restart + 1, restart + 1))
     history = ConvergenceHistory()
@@ -210,14 +248,25 @@ def sstep_gmres(sim: Simulation, b: np.ndarray,
 
     sketch_ctx: _SolveSketch | None = None
     diagnostics: dict = {}
-    if solve_mode == "sketched":
+    if not policy.is_default:
+        diagnostics["precision"] = policy.name
+        diagnostics["storage"] = policy.storage
+    # mode = the *current* cycle's least-squares path; fixed for the
+    # classical/sketched modes, switched between cycles by "adaptive".
+    mode = "classical" if solve_mode == "classical" else "sketched"
+    gap_threshold = (math.sqrt(EPS) if adaptive_gap_threshold is None
+                     else float(adaptive_gap_threshold))
+    if solve_mode in ("sketched", "adaptive"):
         sketch_ctx = _SolveSketch(
             backend, sim.n, restart + 1, sketch_operator, sketch_oversample,
             DEFAULT_SEED if sketch_seed is None else sketch_seed)
-        diagnostics = {"solve_mode": "sketched",
-                       "basis_condition_max": 0.0,
-                       "residual_gap_max": 0.0,
-                       "embedding_rows": sketch_ctx.m_rows}
+        diagnostics.update({"solve_mode": solve_mode,
+                            "basis_condition_max": 0.0,
+                            "residual_gap_max": 0.0,
+                            "embedding_distortion_max": 0.0,
+                            "embedding_rows": sketch_ctx.m_rows})
+        if solve_mode == "adaptive":
+            diagnostics["mode_switches"] = 0
 
     beta0 = None
     iters = 0
@@ -228,6 +277,7 @@ def sstep_gmres(sim: Simulation, b: np.ndarray,
     stalled_cycles = 0
     stalled = False
     est_abs: float | None = None  # last checkpoint's residual estimate
+    cycle_cond_max = 0.0          # worst kappa(S V) seen this cycle
 
     while iters < maxiter and not converged:
         gamma = _explicit_residual(sim, b_vec, x_vec, r_vec)
@@ -236,12 +286,25 @@ def sstep_gmres(sim: Simulation, b: np.ndarray,
             history.record(0, gamma / beta0)
         if sketch_ctx is not None and est_abs is not None:
             # Residual-gap monitor (arXiv:2409.03079): the distance
-            # between the sketched estimate and the explicit residual,
-            # relative to the initial residual norm.
+            # between the estimated and the explicit residual, relative
+            # to the initial residual norm.
+            gap = abs(gamma - est_abs) / beta0
             diagnostics["residual_gap_max"] = max(
-                diagnostics["residual_gap_max"],
-                abs(gamma - est_abs) / beta0)
+                diagnostics["residual_gap_max"], gap)
             est_abs = None
+            if solve_mode == "adaptive":
+                # Switch between cycles, never inside one: classical is
+                # cheaper (no sketch collectives) but its coordinate
+                # least squares silently degrades when orthogonality
+                # slips — the residual gap is exactly that slip.
+                if mode == "classical" and gap > gap_threshold:
+                    mode = "sketched"
+                    diagnostics["mode_switches"] += 1
+                elif (mode == "sketched" and gap <= gap_threshold
+                      and 0.0 < cycle_cond_max <= adaptive_cond_threshold):
+                    mode = "classical"
+                    diagnostics["mode_switches"] += 1
+        cycle_cond_max = 0.0
         rel_res = gamma / beta0
         if rel_res <= tol:
             converged = True
@@ -253,7 +316,7 @@ def sstep_gmres(sim: Simulation, b: np.ndarray,
             backend.scale_cols(basis_mv.view_cols(0), np.array([1.0 / gamma]))
         scheme.begin_cycle(backend, basis_mv, r_factor, observer=observer,
                            w=w_factor, cycle=restarts)
-        if sketch_ctx is not None:
+        if sketch_ctx is not None and mode == "sketched":
             sketch_ctx.begin_cycle(restarts)
         # State of each MPK start column at the time it was consumed:
         # "raw" (never orthogonalized), "final" (fully orthogonalized) or
@@ -264,7 +327,7 @@ def sstep_gmres(sim: Simulation, b: np.ndarray,
 
         def _check(hi: int) -> bool:
             """Hessenberg + least squares at a final-R checkpoint."""
-            nonlocal best, rel_res, h_prev, est_abs
+            nonlocal best, rel_res, h_prev, est_abs, cycle_cond_max
             c = hi - 1
             if c < 1:
                 return False
@@ -280,7 +343,7 @@ def sstep_gmres(sim: Simulation, b: np.ndarray,
             h = assemble_hessenberg_mixed(r_factor, w_tilde, poly, c)
             backend.host_flops(2.0 * c ** 3)
             rhs = gamma * r_factor[: c + 1, 0]
-            if sketch_ctx is not None:
+            if sketch_ctx is not None and mode == "sketched":
                 with tracer.phase("ortho"):
                     sq = sketch_ctx.basis_sketch(scheme, basis_mv, c + 1)
                 y, resid, info = sketched_least_squares(sq, h, rhs)
@@ -290,10 +353,25 @@ def sstep_gmres(sim: Simulation, b: np.ndarray,
                     diagnostics["basis_condition_max"] = max(
                         diagnostics["basis_condition_max"],
                         info["basis_condition"])
+                    cycle_cond_max = max(cycle_cond_max,
+                                         info["basis_condition"])
+                # Leave-one-out split test: does the embedding actually
+                # certify these basis columns?  Host-only, no
+                # collectives; the running max is the re-sketching
+                # signal surfaced in SolveResult.diagnostics.
+                loo = leave_one_out_distortion(sq)
+                backend.host_flops(4.0 * sq.shape[0] * (c + 1) ** 2)
+                diagnostics["embedding_distortion_max"] = max(
+                    diagnostics["embedding_distortion_max"], loo)
                 est_abs = resid
             else:
                 y, resid = least_squares_residual(h, gamma, rhs=rhs)
                 backend.host_flops(2.0 * c ** 3)
+                if sketch_ctx is not None:
+                    # adaptive mode in a classical cycle: keep the
+                    # residual-gap monitor armed so degradation is
+                    # caught at the next restart.
+                    est_abs = resid
             best = (c, y)
             h_prev = h
             rel_res = resid / beta0
@@ -360,6 +438,8 @@ def sstep_gmres(sim: Simulation, b: np.ndarray,
             # verifies convergence (paper Fig. 1 lines 18-19)
             continue
 
+    if solve_mode == "adaptive":
+        diagnostics["final_mode"] = mode
     totals = tracer.since(snap)
     times = dict(totals.by_phase)
     times["total"] = totals.clock

@@ -43,6 +43,10 @@ from repro.ortho.bcgs_pip import (
 )
 from repro.ortho.two_stage import TwoStageScheme
 from repro.ortho.randomized import RBCGSScheme, SketchedTwoStageScheme
+from repro.precision.kernels import (
+    MixedPrecisionTwoStageScheme,
+    mixed_precision_panel,
+)
 from repro.ortho.registry import (
     get_intra_qr,
     get_scheme,
@@ -85,6 +89,8 @@ __all__ = [
     "TwoStageScheme",
     "RBCGSScheme",
     "SketchedTwoStageScheme",
+    "MixedPrecisionTwoStageScheme",
+    "mixed_precision_panel",
     "get_intra_qr",
     "get_scheme",
     "list_intra_qr",

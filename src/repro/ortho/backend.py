@@ -279,7 +279,7 @@ class DistBackend(OrthoBackend):
     def _set_entry(self, mv: DistMultiVector, grow: int, value: float,
                    col: int = 0) -> None:
         rank, lrow = self._locate(mv, grow)
-        mv.shards[rank][lrow, col] = value
+        mv.shards[rank][lrow, col] = mv.quantize(np.asarray(value))
 
     def _zero_rows_above(self, mv: DistMultiVector, grow: int) -> None:
         """Zero global rows [0, grow) of every column."""
@@ -350,11 +350,13 @@ class DistBackend(OrthoBackend):
         self.scale_cols(v, signs)
         return r
 
-    def _local_qr_cost(self, rows: int, k: int) -> float:
+    def _local_qr_cost(self, rows: int, k: int,
+                       word_bytes: float = 8.0) -> float:
         """Modeled cost of one local Householder panel factorization."""
         m = self.comm.machine
         flops = 4.0 * rows * k * k  # factor + explicit local Q
-        bytes_moved = 8.0 * rows * k * max(1, k // 4)  # k panel sweeps, blocked
+        # k panel sweeps, blocked; bytes scale with the storage word size
+        bytes_moved = word_bytes * rows * k * max(1, k // 4)
         return (k * m.kernel_latency
                 + max(flops / m.peak_flops,
                       bytes_moved / (m.mem_bandwidth * m.gemm_bw_efficiency)))
@@ -370,25 +372,31 @@ class DistBackend(OrthoBackend):
         comm = self.comm
         k = v.n_cols
         stack = v.stack
+        f64 = np.dtype(np.float64)
         batched = (isinstance(self._engine(), dengine.BatchedEngine)
                    and stack is not None and stack.shape[1] >= k)
         qstack = None
         if batched:
-            qstack, rstack = np.linalg.qr(stack)
+            work = stack if stack.dtype == f64 else stack.astype(f64)
+            qstack, rstack = np.linalg.qr(work)
             local_rs = list(rstack)
         else:
             local_qs, local_rs = [], []
             for shard in v.shards:
+                shard64 = shard if shard.dtype == f64 else shard.astype(f64)
                 if shard.shape[0] >= k:
-                    q, r = np.linalg.qr(shard)
+                    q, r = np.linalg.qr(shard64)
                 else:
-                    padded = np.vstack([shard, np.zeros((k - shard.shape[0], k))])
+                    padded = np.vstack([shard64,
+                                        np.zeros((k - shard.shape[0], k))])
                     q, r = np.linalg.qr(padded)
                     q = q[: shard.shape[0]]
                 local_qs.append(q)
                 local_rs.append(r)
         comm.charge_local(
-            "dot", [self._local_qr_cost(s.shape[0], k) for s in v.shards])
+            "dot", [self._local_qr_cost(s.shape[0], k,
+                                        word_bytes=v.word_bytes)
+                    for s in v.shards])
 
         def tree(rs: list[np.ndarray]) -> tuple[np.ndarray, list[np.ndarray], int]:
             """Return (R, leaf coefficient matrices M_i, depth)."""
@@ -409,14 +417,19 @@ class DistBackend(OrthoBackend):
         if depth:
             comm.tracer.add("allreduce", depth * per_level, count=1)
         _, r_final, signs = _sign_fix_qr(None, np.triu(r_final))
+        quantized = v.storage != "fp64"
         if batched:
             mstack = np.stack(coeffs) * signs[np.newaxis, np.newaxis, :]
-            stack[...] = np.matmul(qstack, mstack)
+            rebuilt = np.matmul(qstack, mstack)
+            stack[...] = v.quantize(rebuilt) if quantized else rebuilt
         else:
             for shard, qloc, m in zip(v.shards, local_qs, coeffs):
-                shard[...] = qloc @ (m * signs[np.newaxis, :])
+                rebuilt = qloc @ (m * signs[np.newaxis, :])
+                shard[...] = v.quantize(rebuilt) if quantized else rebuilt
         comm.charge_local(
-            "update", [comm.cost.gemm(s.shape[0], k, k) for s in v.shards])
+            "update", [comm.cost.gemm(s.shape[0], k, k,
+                                      word_bytes=v.word_bytes)
+                       for s in v.shards])
         return r_final
 
     def sketch(self, v: DistMultiVector, op) -> np.ndarray:

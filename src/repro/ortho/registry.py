@@ -31,6 +31,7 @@ from repro.ortho.randomized import RBCGSScheme, SketchedTwoStageScheme
 from repro.ortho.sketched import SketchedCholQR
 from repro.ortho.tsqr import TSQRFactor
 from repro.ortho.two_stage import TwoStageScheme
+from repro.precision.kernels import MixedPrecisionTwoStageScheme
 
 INTRA_QR: dict[str, type[IntraBlockQR]] = {
     "hhqr": HouseholderQR,
@@ -49,6 +50,7 @@ SCHEMES: dict[str, type[BlockOrthoScheme]] = {
     "two_stage": TwoStageScheme,
     "rbcgs": RBCGSScheme,
     "sketched_two_stage": SketchedTwoStageScheme,
+    "mixed_two_stage": MixedPrecisionTwoStageScheme,
 }
 
 

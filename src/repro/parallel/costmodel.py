@@ -24,8 +24,14 @@ import math
 from dataclasses import dataclass
 
 from repro.parallel.machine import MachineSpec
+from repro.precision.dtypes import word_bytes as bytes_per_word
 
-_DOUBLE = 8  # bytes per float64
+#: Default word size: IEEE double, the library's historical working
+#: precision.  Every local-kernel method accepts ``word_bytes`` so the
+#: charged byte traffic scales with the *storage* precision of the
+#: operands (``bytes_per_word("fp32") == 4.0`` etc.); the default keeps
+#: all fp64 charges bit-identical to the pre-precision-subsystem model.
+_DOUBLE = bytes_per_word("fp64")
 _INT = 4     # bytes per CSR index (cuSparse uses 32-bit local indices)
 
 
@@ -63,46 +69,55 @@ class CostModel:
         return m.gemm_eff_narrow + frac * (m.gemm_bw_efficiency
                                            - m.gemm_eff_narrow)
 
-    def gemm(self, m_rows: float, k_inner: float, n_cols: float) -> float:
+    def gemm(self, m_rows: float, k_inner: float, n_cols: float,
+             word_bytes: float = _DOUBLE) -> float:
         """Dense ``C[m,n] += A[m,k] @ B[k,n]`` (tall-skinny: m >> k, n).
 
-        Bytes: stream A and B once, write C once.  For the tall-skinny
-        shapes in block orthogonalization (m = local rows) the A/B streams
+        Bytes: stream A and B once, write C once — ``word_bytes`` each
+        (the *storage* word size of the operands; fp32 panels are
+        charged at half the fp64 traffic).  For the tall-skinny shapes
+        in block orthogonalization (m = local rows) the A/B streams
         dominate; efficiency follows the narrow dimension.
         """
         flops = 2.0 * m_rows * k_inner * n_cols
-        bytes_moved = _DOUBLE * (m_rows * k_inner + k_inner * n_cols + m_rows * n_cols)
+        bytes_moved = word_bytes * (m_rows * k_inner + k_inner * n_cols
+                                    + m_rows * n_cols)
         eff = self.gemm_efficiency(min(k_inner, n_cols) if k_inner and n_cols
                                    else 1.0)
         return self._roofline(flops, bytes_moved, eff)
 
-    def gemm_tall_update(self, m_rows: float, k_inner: float, n_cols: float) -> float:
+    def gemm_tall_update(self, m_rows: float, k_inner: float, n_cols: float,
+                         word_bytes: float = _DOUBLE) -> float:
         """Tall update ``V[m,n] -= Q[m,k] @ R[k,n]`` (reads and writes V)."""
         flops = 2.0 * m_rows * k_inner * n_cols
-        bytes_moved = _DOUBLE * (m_rows * k_inner + k_inner * n_cols
-                                 + 2.0 * m_rows * n_cols)
+        bytes_moved = word_bytes * (m_rows * k_inner + k_inner * n_cols
+                                    + 2.0 * m_rows * n_cols)
         eff = self.gemm_efficiency(min(k_inner, n_cols) if k_inner and n_cols
                                    else 1.0)
         return self._roofline(flops, bytes_moved, eff)
 
-    def syrk(self, m_rows: float, n_cols: float) -> float:
+    def syrk(self, m_rows: float, n_cols: float,
+             word_bytes: float = _DOUBLE) -> float:
         """Symmetric rank-k: ``G = V.T @ V`` for tall-skinny V (m x n)."""
         flops = 1.0 * m_rows * n_cols * (n_cols + 1)
-        bytes_moved = _DOUBLE * (m_rows * n_cols + n_cols * n_cols)
+        bytes_moved = word_bytes * (m_rows * n_cols + n_cols * n_cols)
         return self._roofline(flops, bytes_moved,
                               self.gemm_efficiency(n_cols))
 
-    def trsm(self, m_rows: float, n_cols: float) -> float:
+    def trsm(self, m_rows: float, n_cols: float,
+             word_bytes: float = _DOUBLE) -> float:
         """Triangular solve ``Q = V @ R^{-1}`` over m x n tall operand."""
         flops = 1.0 * m_rows * n_cols * n_cols
-        bytes_moved = _DOUBLE * (2.0 * m_rows * n_cols + n_cols * n_cols / 2.0)
+        bytes_moved = word_bytes * (2.0 * m_rows * n_cols
+                                    + n_cols * n_cols / 2.0)
         return self._roofline(flops, bytes_moved,
                               self.gemm_efficiency(n_cols))
 
-    def blas1(self, n_elems: float, n_streams: int = 2, writes: int = 1) -> float:
+    def blas1(self, n_elems: float, n_streams: int = 2, writes: int = 1,
+              word_bytes: float = _DOUBLE) -> float:
         """Vector kernel streaming ``n_streams`` reads + ``writes`` writes."""
         flops = 2.0 * n_elems
-        bytes_moved = _DOUBLE * n_elems * (n_streams + writes)
+        bytes_moved = word_bytes * n_elems * (n_streams + writes)
         return self._roofline(flops, bytes_moved, self.machine.stream_efficiency)
 
     def dd_factor(self) -> float:

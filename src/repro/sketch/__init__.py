@@ -33,6 +33,7 @@ from repro.sketch.precondition import (
     sketch_qr,
 )
 from repro.sketch.distributed import sketch_multivector
+from repro.sketch.quality import leave_one_out_distortion
 from repro.sketch.seeding import derive_seed
 
 __all__ = [
@@ -50,4 +51,5 @@ __all__ = [
     "right_apply_inverse",
     "DEFAULT_RANK_TOL",
     "derive_seed",
+    "leave_one_out_distortion",
 ]

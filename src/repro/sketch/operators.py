@@ -87,14 +87,17 @@ class SketchOperator(ABC):
         return np.stack([self.partial(stack[r], r * rows)
                          for r in range(stack.shape[0])])
 
-    def local_cost(self, cost, rows: int, k: int) -> float:
+    def local_cost(self, cost, rows: int, k: int,
+                   word_bytes: float = 8.0) -> float:
         """Modeled seconds to apply one ``(rows, k)`` shard contribution.
 
         ``cost`` is a :class:`repro.parallel.costmodel.CostModel`; dense
         families charge the tall GEMM, sparse families the streaming
-        scatter-add.
+        scatter-add.  ``word_bytes`` is the storage word size of the
+        sketched multivector (the dominant stream), so fp32 shards are
+        charged at half the fp64 traffic like every other panel kernel.
         """
-        return cost.gemm(self.m_rows, rows, k)
+        return cost.gemm(self.m_rows, rows, k, word_bytes=word_bytes)
 
     # -- conveniences ----------------------------------------------------
     def apply(self, arr: np.ndarray) -> np.ndarray:
@@ -172,11 +175,12 @@ class SparseSignSketch(SketchOperator):
                       stack * signs[:, :, np.newaxis])
         return out
 
-    def local_cost(self, cost, rows: int, k: int) -> float:
+    def local_cost(self, cost, rows: int, k: int,
+                   word_bytes: float = 8.0) -> float:
         # Streaming pass: read the shard (nnz times), scatter into the
         # small sketch.  nnz = 1 matches the historical sketch_dot charge.
         return cost.blas1(rows * k * self.nnz_per_row,
-                          n_streams=1, writes=1)
+                          n_streams=1, writes=1, word_bytes=word_bytes)
 
 
 # ---------------------------------------------------------------------------

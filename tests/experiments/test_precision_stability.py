@@ -1,0 +1,81 @@
+"""Smoke-size assertions of the precision_stability experiment claims."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import precision_stability as ps
+from repro.krylov.ir import gmres_ir
+from repro.krylov.simulation import Simulation
+from repro.krylov.sstep_gmres import sstep_gmres
+from repro.matrices.stencil import laplace2d
+from repro.ortho.registry import get_scheme
+from repro.parallel.machine import generic_cpu
+from repro.utils.rng import default_rng, random_with_condition
+
+
+class TestOrthoSweep:
+    def test_dd_gram_survives_past_fp64_cliff(self):
+        rng = default_rng(11)
+        v = random_with_condition(800, 18, 1e9, rng)
+        classical = ps.drive_distributed(
+            get_scheme("mixed-two-stage")(big_step=18, breakdown="shift",
+                                          gram="fp64"), v, 6)
+        mixed = ps.drive_distributed(
+            get_scheme("mixed-two-stage")(big_step=18, breakdown="shift",
+                                          gram="dd"), v, 6)
+        assert classical["status"] == "breakdown"
+        assert mixed["status"] == "ok"
+        assert mixed["error"] < 1e-13
+
+    def test_fp32_storage_floors_error(self):
+        rng = default_rng(12)
+        v = random_with_condition(800, 18, 1e2, rng)
+        res64 = ps.drive_distributed(
+            get_scheme("mixed-two-stage")(big_step=18, gram="fp64"), v, 6,
+            storage="fp64")
+        res32 = ps.drive_distributed(
+            get_scheme("mixed-two-stage")(big_step=18, gram="fp64"), v, 6,
+            storage="fp32")
+        assert res64["error"] < 1e-14
+        assert 1e-14 < res32["error"] < 1e-5
+
+    def test_fp32_storage_charges_less(self):
+        rng = default_rng(13)
+        v = random_with_condition(20_000, 18, 1e2, rng)
+        t64 = ps.drive_distributed(
+            get_scheme("mixed-two-stage")(big_step=18, gram="fp64"), v, 6,
+            storage="fp64")["ortho_seconds"]
+        t32 = ps.drive_distributed(
+            get_scheme("mixed-two-stage")(big_step=18, gram="fp64"), v, 6,
+            storage="fp32")["ortho_seconds"]
+        assert t32 < t64
+
+    def test_table_renders(self):
+        table = ps.run_ortho(n=400, k=12, s=4, kappas=(1e2, 1e9))
+        text = table.render()
+        assert "dd-gram" in text
+        assert "kappa" in text
+
+
+class TestIRAcceptance:
+    def test_fp32_ir_reaches_fp64_level_backward_error(self):
+        """THE acceptance criterion: GMRES-IR with fp32 storage converges
+        to fp64-level backward error on the experiment matrices."""
+        a = laplace2d(20)
+        sim64 = Simulation(a, ranks=4, machine=generic_cpu())
+        b = sim64.ones_solution_rhs()
+        fp64 = sstep_gmres(sim64, b, s=5, restart=30, tol=1e-12,
+                           maxiter=20_000)
+        ir32 = gmres_ir(Simulation(a, ranks=4, machine=generic_cpu()), b,
+                        precision="fp32", tol=1e-12, s=5, restart=30)
+        be64 = np.linalg.norm(b - a @ fp64.x) / np.linalg.norm(b)
+        be32 = np.linalg.norm(b - a @ ir32.x) / np.linalg.norm(b)
+        assert ir32.converged
+        assert be32 < max(10.0 * be64, 1e-11)
+
+    def test_ir_table_renders(self):
+        table = ps.run_ir(nx=12, maxiter=1200)
+        text = table.render()
+        assert "GMRES-IR" in text
+        assert "true rel res" in text

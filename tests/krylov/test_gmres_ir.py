@@ -1,0 +1,126 @@
+"""GMRES-IR: low-precision inner solves, fp64 refinement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.krylov.ir import gmres_ir
+from repro.krylov.simulation import Simulation
+from repro.krylov.sstep_gmres import sstep_gmres
+from repro.matrices.stencil import laplace2d
+from repro.parallel.machine import generic_cpu
+
+NX = 20
+A = laplace2d(NX)
+
+
+def _sim():
+    return Simulation(A, ranks=4, machine=generic_cpu())
+
+
+def _true_res(x, b):
+    return float(np.linalg.norm(b - A @ x) / np.linalg.norm(b))
+
+
+class TestGMRESIRFp32:
+    def test_reaches_fp64_level_backward_error(self):
+        sim = _sim()
+        b = sim.ones_solution_rhs()
+        res = gmres_ir(sim, b, precision="fp32", tol=1e-12, s=5, restart=30)
+        assert res.converged
+        assert res.solver == "gmres-ir"
+        assert _true_res(res.x, b) < 1e-11
+        assert res.diagnostics["refinements"] >= 1
+        assert res.diagnostics["precision"] == "fp32"
+        assert res.diagnostics["storage"] == "fp32"
+
+    def test_beats_single_low_precision_cycle(self):
+        """One inner solve alone stops at inner_tol; refinement continues
+        past it."""
+        sim = _sim()
+        b = sim.ones_solution_rhs()
+        res = gmres_ir(sim, b, precision="fp32", tol=1e-12, s=5, restart=30,
+                       inner_tol=1e-3)
+        assert res.converged
+        assert res.relative_residual < 1e-12
+        inner = res.diagnostics["inner_solves"]
+        assert len(inner) == res.diagnostics["refinements"]
+        assert all(s["applied"] for s in inner)
+
+    def test_outer_history_is_monotone_contraction(self):
+        sim = _sim()
+        b = sim.ones_solution_rhs()
+        res = gmres_ir(sim, b, precision="fp32", tol=1e-12, s=5, restart=30)
+        r = np.asarray(res.history.residuals)
+        assert r[0] == 1.0
+        assert np.all(np.diff(r) < 0)
+
+    def test_costs_accumulate_on_shared_tracer(self):
+        sim = _sim()
+        b = sim.ones_solution_rhs()
+        res = gmres_ir(sim, b, precision="fp32", tol=1e-10, s=5, restart=30)
+        assert res.total_time > 0
+        assert res.ortho_time > 0
+        assert res.sync_count > 0
+        assert res.times["total"] == pytest.approx(sim.tracer.clock)
+
+
+class TestGMRESIRBf16:
+    def test_direct_bf16_fails_ir_succeeds(self):
+        """Direct bf16 cannot even reach 1e-8; IR sails past it (the
+        bf16-IR floor on this operator sits near eps_bf16^2 * kappa)."""
+        sim = _sim()
+        b = sim.ones_solution_rhs()
+        direct = sstep_gmres(_sim(), b, s=5, restart=30, tol=1e-8,
+                             maxiter=1500, precision="bf16")
+        assert not direct.converged
+        res = gmres_ir(sim, b, precision="bf16", tol=1e-8, s=5, restart=30,
+                       max_refinements=30)
+        assert res.converged
+        assert _true_res(res.x, b) < 1e-7
+
+    def test_inner_tol_respects_storage_eps(self):
+        """The default inner tolerance must be achievable in storage
+        precision (for bf16 that means ~0.125, not 1e-4)."""
+        sim = _sim()
+        b = sim.ones_solution_rhs()
+        res = gmres_ir(sim, b, precision="bf16", tol=1e-8, s=5, restart=30,
+                       max_refinements=30)
+        tols = [s["inner_tol"] for s in res.diagnostics["inner_solves"]]
+        assert min(tols) >= 32.0 * 2.0 ** -8
+
+    def test_trigger_never_tightens(self):
+        sim = _sim()
+        b = sim.ones_solution_rhs()
+        res = gmres_ir(sim, b, precision="bf16", tol=1e-8, s=5, restart=30,
+                       max_refinements=30)
+        tols = [s["inner_tol"] for s in res.diagnostics["inner_solves"]]
+        assert all(b_ >= a for a, b_ in zip(tols, tols[1:]))
+        assert res.diagnostics["inner_tol_final"] <= 0.25
+
+
+class TestGMRESIRConfig:
+    def test_invalid_max_refinements(self):
+        with pytest.raises(ConfigurationError):
+            gmres_ir(_sim(), np.ones(NX * NX), max_refinements=0)
+
+    def test_fp64_policy_converges_in_one_refinement(self):
+        """With fp64 inner storage and a tight inner tol, IR is just a
+        wrapped direct solve."""
+        sim = _sim()
+        b = sim.ones_solution_rhs()
+        res = gmres_ir(sim, b, precision="fp64", tol=1e-8, s=5, restart=30,
+                       inner_tol=1e-9)
+        assert res.converged
+        assert res.diagnostics["refinements"] == 1
+
+    def test_x0_respected(self):
+        sim = _sim()
+        b = sim.ones_solution_rhs()
+        x_star = np.ones(NX * NX)
+        res = gmres_ir(sim, b, x0=x_star, precision="fp32", tol=1e-10)
+        assert res.converged
+        assert res.diagnostics["refinements"] == 0
+        np.testing.assert_allclose(res.x, x_star)

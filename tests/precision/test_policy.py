@@ -1,0 +1,51 @@
+"""PrecisionPolicy registry and resolution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.precision import POLICIES, PrecisionPolicy, resolve_policy
+from repro.precision.policy import list_policies
+
+
+class TestPolicy:
+    def test_registry_covers_core_policies(self):
+        assert {"fp64", "fp32", "bf16", "fp32_dd_gram",
+                "fp64_dd_gram"} <= set(POLICIES)
+
+    def test_default_is_fp64(self):
+        p = resolve_policy(None)
+        assert p.is_default
+        assert (p.storage, p.accumulate, p.gram) == ("fp64", "fp64", "fp64")
+
+    def test_resolve_by_name_normalizes(self):
+        assert resolve_policy("FP32-dd-GRAM") is POLICIES["fp32_dd_gram"]
+
+    def test_resolve_instance_passthrough(self):
+        p = PrecisionPolicy("custom", storage="fp32", gram="dd")
+        assert resolve_policy(p) is p
+
+    def test_word_bytes_and_eps(self):
+        assert resolve_policy("fp32").storage_word_bytes == 4.0
+        assert resolve_policy("bf16").storage_word_bytes == 2.0
+        assert resolve_policy("fp32").storage_eps > \
+            resolve_policy("fp64").storage_eps
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PrecisionPolicy("bad", storage="dd")
+        with pytest.raises(ValueError):
+            PrecisionPolicy("bad", accumulate="bf16")
+        with pytest.raises(ValueError):
+            PrecisionPolicy("bad", gram="bf16")
+        with pytest.raises(ValueError):
+            resolve_policy("fp8")
+
+    def test_list_policies_sorted(self):
+        names = list_policies()
+        assert names == sorted(names)
+        assert "fp64" in names
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            resolve_policy("fp64").storage = "fp32"

@@ -1,0 +1,73 @@
+"""Leave-one-out a-posteriori embedding-quality estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.sketch import (
+    leave_one_out_distortion,
+    make_operator,
+    sketch_rows,
+)
+
+
+def _sketched_orthonormal(family: str, n: int, k: int, m: int,
+                          seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    q = np.linalg.qr(rng.standard_normal((n, k)))[0]
+    op = make_operator(family, n, m, seed=seed)
+    return op.apply(q)
+
+
+class TestLeaveOneOutDistortion:
+    def test_healthy_embedding_is_certified(self):
+        """A generously sized Gaussian embedding of an orthonormal basis
+        yields a finite, small estimate."""
+        sv = _sketched_orthonormal("gaussian", 4000, 10, 800)
+        est = leave_one_out_distortion(sv)
+        assert np.isfinite(est)
+        assert 0.0 < est < 0.5
+
+    def test_estimate_shrinks_with_more_rows(self):
+        small = leave_one_out_distortion(
+            _sketched_orthonormal("gaussian", 4000, 10, 120))
+        big = leave_one_out_distortion(
+            _sketched_orthonormal("gaussian", 4000, 10, 2000))
+        assert big < small
+
+    def test_overestimates_never_zero(self):
+        """The split halves have fewer rows than the full sketch, so the
+        estimate upper-bounds the sketch's own distortion direction —
+        it cannot report a perfect isometry for a random embedding."""
+        sv = _sketched_orthonormal("sparse", 2000, 8,
+                                   sketch_rows(8, 2000, family="sparse"))
+        assert leave_one_out_distortion(sv) > 0.0
+
+    def test_rank_deficient_sketch_fails_certification(self):
+        # duplicated columns: the whitening half cannot be full rank
+        sv = np.repeat(np.random.default_rng(1).standard_normal((64, 3)),
+                       2, axis=1)
+        assert leave_one_out_distortion(sv) == np.inf
+
+    def test_too_few_rows_fails_certification(self):
+        sv = np.random.default_rng(2).standard_normal((9, 5))
+        assert leave_one_out_distortion(sv) == np.inf
+
+    def test_empty_basis(self):
+        assert leave_one_out_distortion(np.zeros((32, 0))) == 0.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ShapeError):
+            leave_one_out_distortion(np.zeros(7))
+
+    def test_exact_isometry_certifies_near_zero(self):
+        """When both halves see identical, exactly isometric geometry the
+        estimate collapses to ~0 (each scaled half is orthonormal)."""
+        rng = np.random.default_rng(3)
+        q = np.linalg.qr(rng.standard_normal((50, 6)))[0]
+        inter = np.empty((100, 6))
+        inter[0::2] = q / np.sqrt(2.0)
+        inter[1::2] = q / np.sqrt(2.0)
+        assert leave_one_out_distortion(inter) < 1e-10

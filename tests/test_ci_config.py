@@ -79,6 +79,7 @@ class TestWorkflow:
         assert "slow" in runs
         assert "sketch_stability" in runs
         assert "rgs_convergence" in runs
+        assert "precision_stability" in runs
         uploads = [step for step in nightly["steps"]
                    if "upload-artifact" in str(step.get("uses", ""))]
         assert uploads and uploads[0]["with"]["path"] == "experiment-out/"
@@ -90,7 +91,8 @@ class TestWorkflow:
         doc = yaml.safe_load(WORKFLOW.read_text())
         runs = "\n".join(step.get("run", "")
                          for step in doc["jobs"]["bench-smoke"]["steps"])
-        for artifact in ("BENCH_kernels", "BENCH_sketch", "BENCH_gmres"):
+        for artifact in ("BENCH_kernels", "BENCH_sketch", "BENCH_gmres",
+                         "BENCH_precision"):
             assert (f"benchmarks/{artifact}.json" in runs
                     and f"bench-out/{artifact}.json" in runs), (
                 f"{artifact} not gated against its committed baseline")
@@ -105,8 +107,11 @@ class TestWorkflow:
                     "benchmarks/BENCH_sketch.json",
                     "benchmarks/bench_sstep_gmres.py",
                     "benchmarks/BENCH_gmres.json",
+                    "benchmarks/bench_precision_kernels.py",
+                    "benchmarks/BENCH_precision.json",
                     "src/repro/experiments/sketch_stability.py",
-                    "src/repro/experiments/rgs_convergence.py"):
+                    "src/repro/experiments/rgs_convergence.py",
+                    "src/repro/experiments/precision_stability.py"):
             path = ref
             if ref.startswith("src/repro/experiments/"):
                 # referenced as a module invocation in the nightly job
@@ -144,6 +149,62 @@ class TestCommittedBaseline:
             batched = art.record(f"test_sketch_apply[{family}-batched]")
             assert loop.extra["modeled_seconds"] == \
                 batched.extra["modeled_seconds"]
+
+    def test_precision_baseline_artifact(self):
+        """The committed precision baseline proves the storage-precision
+        claim: fp32 panels are charged roughly half the fp64 bytes, with
+        engine-identical modeled costs."""
+        from repro.bench.artifacts import load_artifact
+        art = load_artifact(REPO / "benchmarks" / "BENCH_precision.json")
+        assert art.name == "precision"
+        for kernel in ("test_block_dot", "test_block_update"):
+            for engine in ("loop", "batched"):
+                m64 = art.record(f"{kernel}[fp64-{engine}]").extra[
+                    "modeled_seconds"]
+                m32 = art.record(f"{kernel}[fp32-{engine}]").extra[
+                    "modeled_seconds"]
+                assert m32 < 0.65 * m64, (kernel, engine)
+            assert art.record(f"{kernel}[fp64-loop]").extra[
+                "modeled_seconds"] == art.record(
+                f"{kernel}[fp64-batched]").extra["modeled_seconds"]
+        ir = art.record("test_gmres_ir_fp32")
+        assert ir.extra["refinements"] >= 1
+        assert ir.extra["iterations"] > 0
+
+    def test_fp64_charged_costs_match_committed_sketch_baseline(self):
+        """Regression net for the word-size parameterization: recomputing
+        a committed benchmark's modeled seconds with today's cost model
+        must reproduce the recorded fp64 value to ~1 ulp (a wrong word
+        size would be off by 2x; the tolerance only absorbs last-digit
+        noise from the environment the artifact was recorded on)."""
+        import math
+
+        import numpy as np
+
+        from repro.bench.artifacts import load_artifact
+        from repro.distla.multivector import DistMultiVector
+        from repro.parallel.communicator import SimComm
+        from repro.parallel.machine import generic_cpu
+        from repro.parallel.partition import Partition
+        from repro.parallel.tracing import Tracer
+        from repro.sketch import make_operator, sketch_multivector, \
+            sketch_rows
+
+        art = load_artifact(REPO / "benchmarks" / "BENCH_sketch.json")
+        n, ranks, k = 8_192, 64, 30  # bench_sketch_kernels.py constants
+        comm = SimComm(generic_cpu(), ranks, Tracer())
+        part = Partition(n, ranks)
+        basis = DistMultiVector.from_global(
+            np.random.default_rng(0).standard_normal((n, k)), part, comm)
+        for family in ("sparse", "gaussian", "srht"):
+            m = sketch_rows(k, n, family=family)
+            op = make_operator(family, n, m, seed=0xC0FFEE)
+            before = comm.tracer.clock
+            sketch_multivector(basis, op)
+            modeled = comm.tracer.clock - before
+            rec = art.record(f"test_sketch_apply[{family}-batched]")
+            assert math.isclose(modeled, rec.extra["modeled_seconds"],
+                                rel_tol=1e-12), family
 
     def test_gmres_baseline_artifact(self):
         """The committed end-to-end solver baseline covers the classical
