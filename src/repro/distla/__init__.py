@@ -10,6 +10,7 @@ per-rank work executes is pluggable (:mod:`repro.distla.engine`): the
 shards as single batched kernels, selected via :func:`repro.config.set_engine`.
 """
 
+from repro.distla.halo import GhostPlan, HaloPlan
 from repro.distla.multivector import DistMultiVector
 from repro.distla.spmatrix import DistSparseMatrix
 from repro.distla.engine import BatchedEngine, KernelEngine, LoopEngine
@@ -26,6 +27,8 @@ from repro.distla.blas import (
 __all__ = [
     "DistMultiVector",
     "DistSparseMatrix",
+    "GhostPlan",
+    "HaloPlan",
     "KernelEngine",
     "LoopEngine",
     "BatchedEngine",

@@ -6,6 +6,11 @@ rank's rows reference (the *halo*).  ``matvec`` then charges one
 neighbourhood exchange (paper Sec. III: "applying each SpMV with
 neighborhood communication ... in sequence" — Trilinos' standard, non-CA
 matrix powers kernel) plus per-rank local SpMV kernels.
+
+The multi-level ghost-zone closures behind the *communication-avoiding*
+MPK live in :mod:`repro.distla.halo`; :meth:`DistSparseMatrix.ghost_plan`
+analyzes and caches one :class:`~repro.distla.halo.GhostPlan` per
+``(depth, expand)`` so repeated s-step panels reuse the setup.
 """
 
 from __future__ import annotations
@@ -13,41 +18,11 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from repro.distla.halo import GhostPlan, HaloPlan
 from repro.distla.multivector import DistMultiVector
 from repro.exceptions import ShapeError
 from repro.parallel.communicator import SimComm
 from repro.parallel.partition import Partition
-
-_DOUBLE = 8.0
-
-
-class HaloPlan:
-    """Per-rank description of the off-rank vector entries SpMV gathers."""
-
-    __slots__ = ("recv_bytes_by_peer", "halo_counts")
-
-    def __init__(self, recv_bytes_by_peer: list[dict[int, float]],
-                 halo_counts: np.ndarray) -> None:
-        self.recv_bytes_by_peer = recv_bytes_by_peer
-        self.halo_counts = halo_counts
-
-    @classmethod
-    def analyze(cls, local_blocks: list[sp.csr_matrix],
-                partition: Partition) -> "HaloPlan":
-        recv: list[dict[int, float]] = []
-        counts = np.zeros(partition.ranks, dtype=np.int64)
-        for rank, block in enumerate(local_blocks):
-            lo, hi = partition.offsets[rank], partition.offsets[rank + 1]
-            cols = np.unique(block.indices)
-            external = cols[(cols < lo) | (cols >= hi)]
-            counts[rank] = external.size
-            by_peer: dict[int, float] = {}
-            if external.size:
-                owners = partition.owners(external)
-                for peer, cnt in zip(*np.unique(owners, return_counts=True)):
-                    by_peer[int(peer)] = float(cnt) * _DOUBLE
-            recv.append(by_peer)
-        return cls(recv, counts)
 
 
 class DistSparseMatrix:
@@ -80,6 +55,8 @@ class DistSparseMatrix:
         self.halo = HaloPlan.analyze(self.local_blocks, partition)
         self.nnz = int(a.nnz)
         self._diag = a.diagonal().copy()
+        self._global_csr = a
+        self._ghost_plans: dict[tuple[int, str], GhostPlan] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -92,6 +69,22 @@ class DistSparseMatrix:
 
     def local_nnz(self, rank: int) -> int:
         return int(self.local_blocks[rank].nnz)
+
+    def ghost_plan(self, depth: int, expand: str = "pointwise") -> GhostPlan:
+        """Cached s-level ghost-zone closure (see :mod:`repro.distla.halo`).
+
+        ``depth`` is the number of local operator applications the plan
+        must cover; ``expand`` the per-level dependency rule of the
+        composed operator (``"pointwise"`` for identity/Jacobi
+        preconditioning, ``"block"`` for block Jacobi).
+        """
+        key = (int(depth), expand)
+        plan = self._ghost_plans.get(key)
+        if plan is None:
+            plan = GhostPlan.analyze(self._global_csr, self.partition,
+                                     depth, expand=expand)
+            self._ghost_plans[key] = plan
+        return plan
 
     # ------------------------------------------------------------------
     def matvec(self, x: DistMultiVector, out: DistMultiVector | None = None,
@@ -113,7 +106,8 @@ class DistSparseMatrix:
             raise ShapeError("out vector is not conformal")
         x_global = x.to_global()[:, 0]
         if kernel_phase_halo:
-            comm.charge_halo(self.halo.recv_bytes_by_peer)
+            # ghost rows travel at the operand's storage word size
+            comm.charge_halo(self.halo.recv_bytes(x.word_bytes))
         costs = []
         quantized = out.storage != "fp64"
         for rank, block in enumerate(self.local_blocks):
@@ -124,7 +118,9 @@ class DistSparseMatrix:
                                       else y_local)
             touched = (self.partition.local_count(rank)
                        + int(self.halo.halo_counts[rank]))
-            costs.append(comm.cost.spmv(block.nnz, block.shape[0], touched))
+            costs.append(comm.cost.spmv(block.nnz, block.shape[0], touched,
+                                        word_bytes=max(x.word_bytes,
+                                                       out.word_bytes)))
         comm.charge_local("spmv_local", costs)
         return out
 

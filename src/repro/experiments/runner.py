@@ -11,6 +11,7 @@ import sys
 
 from repro.experiments import (
     ablations,
+    ca_mpk_tradeoff,
     fig6,
     fig7,
     fig8,
@@ -41,6 +42,7 @@ _DISPATCH = {
     "sketch": sketch_stability.main,
     "rgs": rgs_convergence.main,
     "precision": precision_stability.main,
+    "ca_mpk": ca_mpk_tradeoff.main,
 }
 
 
@@ -66,6 +68,7 @@ def run_all_quick() -> None:
     print(rgs_convergence.run(n=250, maxiter=800).render(), "\n")
     for t in precision_stability.run(n=1500, nx=20, maxiter=3000):
         print(t.render(), "\n")
+    print(ca_mpk_tradeoff.run(nx=24, ranks=8).render(), "\n")
 
 
 def main(argv: list | None = None) -> int:

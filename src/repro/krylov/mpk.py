@@ -1,16 +1,35 @@
-"""Matrix powers kernel and the (right-)preconditioned operator.
+"""Matrix powers kernels and the (right-)preconditioned operator.
 
-Trilinos' s-step GMRES uses the *standard* MPK — "applying each SpMV with
-neighborhood communication and preconditioner in sequence" (paper
-Section III) — rather than a communication-avoiding MPK, because CA-MPK
-composes badly with general preconditioners.  We implement the same:
-:class:`MatrixPowersKernel` extends the basis s columns at a time with
-one halo exchange + local SpMV (+ preconditioner apply) per step,
-following the recurrence of the configured :class:`KrylovBasis`.
+Two execution modes generate the s-step basis (Fig. 1 lines 7-9):
+
+* ``"standard"`` — Trilinos' choice, which the paper follows: "applying
+  each SpMV with neighborhood communication and preconditioner in
+  sequence" (Section III).  One halo exchange + local SpMV (+
+  preconditioner apply) per basis column: ``s`` latency-bound
+  neighbourhood synchronizations per panel.
+* ``"ca"`` — the communication-avoiding MPK of the classic s-step
+  formulation (Chronopoulos & Kim; Demmel et al.'s "PA1"): ONE
+  aggregated deep-halo exchange per panel gathers the s-level ghost-zone
+  closure (:meth:`~repro.distla.spmatrix.DistSparseMatrix.ghost_plan`),
+  then every step is a purely local SpMV that redundantly recomputes a
+  ghost region shrinking by one level per step.  Latency is paid once
+  per panel instead of once per column, at the price of redundant flops
+  on the ghost rings.
+
+Both modes evaluate the identical recurrence over identical operand
+values, so the generated basis is bit-identical — the tracer alone can
+tell them apart.  CA composes with preconditioners through the ghost
+closure (:attr:`~repro.precond.base.Preconditioner.ghost_compat`):
+identity/Jacobi expand pointwise, block Jacobi rounds every level up to
+whole owner blocks, and anything else (polynomial, ...) has no finite
+closure — :class:`MatrixPowersKernel` raises ``ConfigurationError``,
+which is exactly why the paper (and Trilinos) default to the standard
+kernel for general preconditioning.
 """
 
 from __future__ import annotations
 
+import numpy as np
 
 from repro.distla import blas as dblas
 from repro.distla.multivector import DistMultiVector
@@ -18,6 +37,9 @@ from repro.distla.spmatrix import DistSparseMatrix
 from repro.exceptions import ConfigurationError
 from repro.krylov.basis import KrylovBasis, MonomialBasis
 from repro.precond.base import IdentityPreconditioner, Preconditioner
+
+#: Valid ``mode`` values for :class:`MatrixPowersKernel`.
+MPK_MODES = ("standard", "ca")
 
 
 class PreconditionedOperator:
@@ -38,11 +60,31 @@ class PreconditionedOperator:
     def is_preconditioned(self) -> bool:
         return not isinstance(self.precond, IdentityPreconditioner)
 
+    @property
+    def ghost_expand(self) -> str | None:
+        """Ghost-closure expansion rule of the composed operator, or
+        None when the preconditioner breaks CA composition."""
+        return self.precond.ghost_compat
+
+    @property
+    def supports_ca(self) -> bool:
+        """True when the CA-MPK can fold ``M^{-1}`` into its closure."""
+        return self.precond.ghost_compat is not None
+
     def _get_scratch(self, like: DistMultiVector) -> DistMultiVector:
-        if (self._scratch is None
-                or self._scratch.partition != like.partition):
+        s = self._scratch
+        if (s is None
+                or s.partition != like.partition
+                or s.comm is not like.comm
+                or s.storage != like.storage
+                or s.accumulate != like.accumulate):
+            # a stale scratch bound to another communicator would charge
+            # modeled time to the wrong tracer; a storage mismatch would
+            # silently run (and charge) the preconditioned chain at the
+            # wrong precision
             self._scratch = DistMultiVector.zeros(
-                like.partition, like.comm, 1)
+                like.partition, like.comm, 1, storage=like.storage,
+                accumulate=like.accumulate)
         return self._scratch
 
     def apply(self, x: DistMultiVector, out: DistMultiVector) -> None:
@@ -76,19 +118,44 @@ class MatrixPowersKernel:
 
         v_{k+1} = (op(v_k) - alpha_k v_k - gamma_k v_{k-1}) / beta_k
 
-    is evaluated with one operator application (halo + local SpMV [+
-    preconditioner]) and a cheap streaming combination.
+    is evaluated with one operator application and a cheap streaming
+    combination.  ``mode`` selects how the operator applications
+    communicate (see module docstring): ``"standard"`` pays one halo
+    exchange per step, ``"ca"`` one aggregated deep-halo exchange per
+    :meth:`extend` call.
     """
 
     def __init__(self, op: PreconditionedOperator,
-                 basis_poly: KrylovBasis | None = None) -> None:
+                 basis_poly: KrylovBasis | None = None,
+                 mode: str = "standard") -> None:
         self.op = op
         self.basis_poly = basis_poly if basis_poly is not None else MonomialBasis()
+        if mode not in MPK_MODES:
+            raise ConfigurationError(
+                f"unknown MPK mode {mode!r}; expected one of {MPK_MODES}")
+        if mode == "ca" and not op.supports_ca:
+            raise ConfigurationError(
+                f"CA-MPK cannot compose with preconditioner "
+                f"{op.precond.name!r}: its ghost values have no finite "
+                f"dependency closure (ghost_compat=None); use "
+                f"mode='standard' (or mpk_mode='auto' in sstep_gmres for "
+                f"the automatic fallback)")
+        self.mode = mode
 
     def extend(self, basis: DistMultiVector, lo: int, hi: int) -> None:
         """Generate columns ``lo..hi-1`` of ``basis`` (``lo >= 1``)."""
         if lo < 1:
             raise ConfigurationError("MPK needs a starting column before lo")
+        if hi <= lo:
+            return
+        if self.mode == "ca":
+            self._extend_ca(basis, lo, hi)
+        else:
+            self._extend_standard(basis, lo, hi)
+
+    # ------------------------------------------------------------------
+    def _extend_standard(self, basis: DistMultiVector, lo: int,
+                         hi: int) -> None:
         comm = basis.comm
         for col in range(lo, hi):
             k = col - 1  # recurrence step index
@@ -103,3 +170,108 @@ class MatrixPowersKernel:
                     if gamma != 0.0 and col >= 2:
                         terms.append((-gamma / beta, basis.view_cols(col - 2)))
                     dblas.lincomb(v_next, terms)
+
+    # ------------------------------------------------------------------
+    def _extend_ca(self, basis: DistMultiVector, lo: int, hi: int) -> None:
+        """Ghost-zone CA panel: 1 aggregated exchange + ``hi - lo`` local
+        steps over a shrinking closure.
+
+        Each rank keeps a work array valid on its own closure level and
+        redundantly recomputes the shrinking ghost region — the real
+        PA1-style execution, not a shortcut: values outside a rank's
+        closure stay zero, so an under-sized closure would contaminate
+        the basis and fail the bit-identity contract with the standard
+        kernel (which the test suite asserts).
+        """
+        comm = basis.comm
+        tracer = comm.tracer
+        matrix = self.op.matrix
+        part = basis.partition
+        steps = hi - lo
+        plan = matrix.ghost_plan(steps, self.op.ghost_expand)
+        n = part.n_global
+        ranks = part.ranks
+        ctype = basis.np_dtype
+        quantized = basis.storage != "fp64"
+        preconditioned = self.op.is_preconditioned
+
+        coeffs = {col: self.basis_poly.coefficients(col - 1)
+                  for col in range(lo, hi)}
+        # three-term recurrences reach back one extra column; the panel's
+        # first step additionally needs the *previous* panel's last
+        # column on the ghost region, which rides in the same exchange
+        track_prev = any(g != 0.0 for (_, _, g) in coeffs.values())
+        gather_prev = coeffs[lo][2] != 0.0 and lo >= 2
+
+        # -- the ONE aggregated deep-halo exchange ----------------------
+        with tracer.phase("spmv"):
+            comm.charge_halo(plan.recv_bytes(
+                basis.word_bytes, n_vectors=2 if gather_prev else 1))
+
+        def _gathered(col: int) -> list[np.ndarray]:
+            """Per-rank work arrays of basis column ``col``: owned rows
+            plus the exchanged deep-halo ghosts, zero elsewhere."""
+            g = basis.view_cols(col).to_global()[:, 0].astype(np.float64)
+            out = []
+            for r in range(ranks):
+                w = np.zeros(n)
+                held = plan.levels[r][steps]
+                w[held] = g[held]
+                out.append(w)
+            return out
+
+        v_k = _gathered(lo - 1)
+        v_km1 = _gathered(lo - 2) if gather_prev else [None] * ranks
+        z = [np.zeros(n) for _ in range(ranks)] if preconditioned else None
+
+        for col in range(lo, hi):
+            depth = hi - 1 - col  # ghost levels remaining after this step
+            alpha, beta, gamma = coeffs[col]
+            three_term = gamma != 0.0 and col >= 2
+            recurrence = alpha != 0.0 or gamma != 0.0 or beta != 1.0
+            v_new = []
+            if preconditioned:
+                with tracer.phase("precond"):
+                    for r in range(ranks):
+                        self.op.precond.apply_ghosted(
+                            v_k[r], plan.levels[r][depth + 1], z[r], ctype)
+                    self.op.precond.charge_ghost_apply(comm, plan, depth + 1)
+            with tracer.phase("spmv"):
+                for r in range(ranks):
+                    rows = plan.levels[r][depth]
+                    y = plan.level_blocks[r][depth] @ (
+                        z[r] if preconditioned else v_k[r])
+                    if quantized:
+                        y = basis.quantize(y).astype(np.float64)
+                    w = np.zeros(n)
+                    w[rows] = y
+                    v_new.append(w)
+                comm.charge_local("spmv_local", [
+                    comm.cost.spmv(int(plan.level_nnz[r, depth]),
+                                   int(plan.level_rows[r, depth]),
+                                   int(plan.level_rows[r, depth + 1]),
+                                   word_bytes=basis.word_bytes)
+                    for r in range(ranks)])
+                if recurrence:
+                    for r in range(ranks):
+                        rows = plan.levels[r][depth]
+                        # identical operation order to the engines' lincomb
+                        acc = (1.0 / beta) * v_new[r][rows]
+                        acc += (-alpha / beta) * v_k[r][rows]
+                        if three_term:
+                            acc += (-gamma / beta) * v_km1[r][rows]
+                        if quantized:
+                            acc = basis.quantize(acc).astype(np.float64)
+                        v_new[r][rows] = acc
+                    comm.charge_local("axpy", [
+                        comm.cost.blas1(int(plan.level_rows[r, depth]),
+                                        n_streams=3 if three_term else 2,
+                                        writes=1,
+                                        word_bytes=basis.word_bytes)
+                        for r in range(ranks)])
+            for r in range(ranks):
+                basis.shards[r][:, col:col + 1] = (
+                    v_new[r][part.local_slice(r)][:, np.newaxis])
+            if track_prev:
+                v_km1 = v_k
+            v_k = v_new

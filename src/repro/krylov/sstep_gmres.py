@@ -68,6 +68,22 @@ from repro.sketch import (
 #: back — as the diagnostics cross their thresholds.
 SOLVE_MODES = ("classical", "sketched", "adaptive")
 
+#: Valid ``mpk_mode`` values: the two kernel modes plus ``"auto"``
+#: (communication-avoiding whenever the preconditioner composes,
+#: standard otherwise — the fallback the paper's Trilinos setting
+#: hard-codes).
+MPK_SOLVER_MODES = ("standard", "ca", "auto")
+
+#: Default leave-one-out distortion above which a sketched solve redraws
+#: its embedding at the next cycle.  Calibration note: the split test
+#: evaluates *half*-sized embeddings, so at solver sketch sizes (~4x
+#: oversampling, 2x per half) healthy estimates land around 1-3, not
+#: near zero — the default only fires when the held-out spectrum is far
+#: outside that band (an unlucky draw stretching some direction several
+#: fold).  Lower it for tighter certification, or pass ``None`` to
+#: disable the automatic redraw.
+DEFAULT_RESKETCH_THRESHOLD = 10.0
+
 
 class _SolveSketch:
     """Per-solve sketch context for ``solve_mode="sketched"``.
@@ -80,10 +96,15 @@ class _SolveSketch:
     demand — one extra fused-size allreduce per checkpoint, charged to
     the ortho phase like every other reduction the solver issues.
 
-    The operator is derived deterministically from ``(seed, cycle)`` so
-    repeated solves reproduce bit-for-bit while each restart cycle
-    draws a fresh embedding (reusing one across adaptively generated
-    cycles would void the w.h.p. guarantee).
+    The operator is derived deterministically from ``(seed, cycle,
+    resketch_count)`` so repeated solves reproduce bit-for-bit while
+    each restart cycle draws a fresh embedding (reusing one across
+    adaptively generated cycles would void the w.h.p. guarantee).  When
+    the leave-one-out monitor reports the current embedding cannot be
+    certified (:meth:`request_resketch`), ``resketch_count`` bumps and
+    the next cycle redraws from the new tuple — and the context stops
+    trusting scheme-provided sketches, whose operators it cannot
+    redraw, maintaining its own from then on.
     """
 
     def __init__(self, backend, n: int, width: int, family: str,
@@ -96,22 +117,36 @@ class _SolveSketch:
         self.seed = seed
         self.m_rows = sketch_rows(width, n, family=self.family,
                                   oversample=self.oversample)
+        self.resketch_count = 0
+        self._resketch_armed = False
         self._op = None
         self._sq = np.zeros((self.m_rows, width))
         self._cols = 0
 
     def begin_cycle(self, cycle: int) -> None:
-        self._op = make_operator(
-            self.family, self.n, self.m_rows,
-            derive_seed(self.seed, "sstep-gmres-solve", cycle))
+        if self._resketch_armed:
+            self._resketch_armed = False
+            self.resketch_count += 1
+        # count 0 derives the historical (seed, cycle) tuple so solves
+        # that never re-sketch reproduce pre-resketch results bit-for-bit
+        ctx = (("sstep-gmres-solve", cycle) if self.resketch_count == 0
+               else ("sstep-gmres-solve", cycle, self.resketch_count))
+        self._op = make_operator(self.family, self.n, self.m_rows,
+                                 derive_seed(self.seed, *ctx))
         self._sq.fill(0.0)
         self._cols = 0
+
+    def request_resketch(self) -> None:
+        """Redraw the embedding at the next cycle boundary (at most one
+        bump per cycle, however many checkpoints cross the threshold)."""
+        self._resketch_armed = True
 
     def basis_sketch(self, scheme: BlockOrthoScheme, basis_mv,
                      hi: int) -> np.ndarray:
         """``S V_{1:hi}``, reusing the scheme's sketch when it has one."""
         from_scheme = scheme.basis_sketch
-        if from_scheme is not None and from_scheme.shape[1] >= hi:
+        if (from_scheme is not None and from_scheme.shape[1] >= hi
+                and self.resketch_count == 0):
             return from_scheme[:, :hi]
         if hi > self._cols:  # sketch only the newly-finalized columns
             view = self.backend.view(basis_mv, slice(self._cols, hi))
@@ -151,9 +186,11 @@ def sstep_gmres(sim: Simulation, b: np.ndarray,
                 precond: Preconditioner | None = None,
                 observer: OrthoObserver | None = None,
                 solve_mode: str = "classical",
+                mpk_mode: str = "standard",
                 sketch_operator: str = "sparse",
                 sketch_oversample: int | None = None,
                 sketch_seed: int | None = None,
+                resketch_threshold: float | None = DEFAULT_RESKETCH_THRESHOLD,
                 precision: "PrecisionPolicy | str | None" = None,
                 adaptive_cond_threshold: float = 1.0e6,
                 adaptive_gap_threshold: float | None = None) -> SolveResult:
@@ -187,11 +224,29 @@ def sstep_gmres(sim: Simulation, b: np.ndarray,
         :class:`~repro.ortho.randomized.SketchedTwoStageScheme` with
         ``fused=True``.  The sketched path also emits residual-gap /
         basis-condition diagnostics into ``SolveResult.diagnostics``.
+    mpk_mode:
+        How the matrix powers kernel communicates: ``"standard"`` (one
+        halo exchange per basis column — the paper's and Trilinos'
+        setting), ``"ca"`` (ghost-zone communication-avoiding kernel:
+        ONE aggregated deep-halo exchange per s-panel, redundant local
+        work on a shrinking ghost region; raises
+        :class:`ConfigurationError` when the preconditioner has no
+        finite ghost closure), or ``"auto"`` (CA when the
+        preconditioner composes, standard fallback otherwise).  Both
+        kernels generate bit-identical bases; only the communication
+        profile — and hence the modeled time — differs.
     sketch_operator / sketch_oversample / sketch_seed:
         Sketch family, embedding-size override and base seed for the
         sketched solve path (ignored in classical mode).  When the
         scheme exposes :attr:`BlockOrthoScheme.basis_sketch`, its sketch
         is reused and these knobs are irrelevant.
+    resketch_threshold:
+        Leave-one-out distortion above which a sketched/adaptive solve
+        *redraws* its embedding at the next restart cycle (operator
+        re-derived from ``(seed, cycle, resketch_count)``), instead of
+        only reporting the estimate; ``None`` disables the automatic
+        re-sketch.  ``diagnostics["resketch_count"]`` records how often
+        it fired.
     precision:
         A :class:`~repro.precision.policy.PrecisionPolicy` (or registered
         name, e.g. ``"fp32"``) for the Krylov basis: the basis is stored
@@ -219,6 +274,10 @@ def sstep_gmres(sim: Simulation, b: np.ndarray,
         raise ConfigurationError(
             f"unknown solve_mode {solve_mode!r}; expected one of "
             f"{SOLVE_MODES}")
+    if mpk_mode not in MPK_SOLVER_MODES:
+        raise ConfigurationError(
+            f"unknown mpk_mode {mpk_mode!r}; expected one of "
+            f"{MPK_SOLVER_MODES}")
     policy = resolve_policy(precision)
     if scheme is None:
         scheme = (MixedPrecisionTwoStageScheme(big_step=restart,
@@ -233,7 +292,9 @@ def sstep_gmres(sim: Simulation, b: np.ndarray,
     if precond is not None and not precond.is_setup:
         precond.setup(sim.matrix)
     op = PreconditionedOperator(sim.matrix, precond)
-    mpk = MatrixPowersKernel(op, poly)
+    kernel_mode = (("ca" if op.supports_ca else "standard")
+                   if mpk_mode == "auto" else mpk_mode)
+    mpk = MatrixPowersKernel(op, poly, mode=kernel_mode)
 
     b = np.asarray(b, dtype=np.float64).ravel()
     b_vec = sim.vector_from(b)
@@ -248,6 +309,8 @@ def sstep_gmres(sim: Simulation, b: np.ndarray,
 
     sketch_ctx: _SolveSketch | None = None
     diagnostics: dict = {}
+    if mpk_mode != "standard":
+        diagnostics["mpk_mode"] = kernel_mode
     if not policy.is_default:
         diagnostics["precision"] = policy.name
         diagnostics["storage"] = policy.storage
@@ -264,7 +327,8 @@ def sstep_gmres(sim: Simulation, b: np.ndarray,
                             "basis_condition_max": 0.0,
                             "residual_gap_max": 0.0,
                             "embedding_distortion_max": 0.0,
-                            "embedding_rows": sketch_ctx.m_rows})
+                            "embedding_rows": sketch_ctx.m_rows,
+                            "resketch_count": 0})
         if solve_mode == "adaptive":
             diagnostics["mode_switches"] = 0
 
@@ -363,6 +427,18 @@ def sstep_gmres(sim: Simulation, b: np.ndarray,
                 backend.host_flops(4.0 * sq.shape[0] * (c + 1) ** 2)
                 diagnostics["embedding_distortion_max"] = max(
                     diagnostics["embedding_distortion_max"], loo)
+                if (resketch_threshold is not None
+                        and math.isfinite(loo)
+                        and loo > resketch_threshold):
+                    # a *measured* distortion past the threshold: redraw
+                    # the cycle operator from (seed, cycle,
+                    # resketch_count) at the next restart instead of
+                    # only reporting the estimate.  An infinite estimate
+                    # means the split test itself was impossible (too
+                    # few sketch rows for the held-out half) — a redraw
+                    # of the same shape cannot fix that, so it stays
+                    # report-only.
+                    sketch_ctx.request_resketch()
                 est_abs = resid
             else:
                 y, resid = least_squares_residual(h, gamma, rhs=rhs)
@@ -440,6 +516,8 @@ def sstep_gmres(sim: Simulation, b: np.ndarray,
 
     if solve_mode == "adaptive":
         diagnostics["final_mode"] = mode
+    if sketch_ctx is not None:
+        diagnostics["resketch_count"] = sketch_ctx.resketch_count
     totals = tracer.since(snap)
     times = dict(totals.by_phase)
     times["total"] = totals.clock

@@ -91,6 +91,19 @@ class SimComm:
             work = merged
         return work[0]
 
+    @staticmethod
+    def _payload_bytes(result: np.ndarray, contribution) -> float:
+        """Wire payload of a reduction whose per-rank contributions were
+        ``contribution``-typed.
+
+        The reduction *tree* always runs in float64, but what travels is
+        the contribution dtype: a low-precision reduction
+        (``accumulate="fp32"`` partials) moves 4-byte words.  fp64
+        contributions charge exactly ``result.nbytes`` — bit-identical to
+        the historical always-fp64 sizing.
+        """
+        return float(result.size * np.asarray(contribution).dtype.itemsize)
+
     # ------------------------------------------------------------------
     def allreduce_sum(self, shards: list[np.ndarray]) -> np.ndarray:
         """Sum per-rank contributions; every rank receives the result.
@@ -104,7 +117,7 @@ class SimComm:
         """
         self._check_contributions(shards)
         result = self._tree_sum(shards)
-        payload = float(result.nbytes)
+        payload = self._payload_bytes(result, shards[0])
         self.tracer.add("allreduce", self.cost.allreduce(payload, self.size))
         return result
 
@@ -132,7 +145,7 @@ class SimComm:
         for shards in shard_groups:
             self._check_contributions(shards)
             red = self._tree_sum(shards)
-            payload += float(red.nbytes)
+            payload += self._payload_bytes(red, shards[0])
             results.append(red)
         self.tracer.add("allreduce", self.cost.allreduce(payload, self.size))
         return results
@@ -152,7 +165,7 @@ class SimComm:
         """
         self._check_stack(stack)
         result = self._tree_sum_stacked(stack)
-        payload = float(result.nbytes)
+        payload = self._payload_bytes(result, stack)
         self.tracer.add("allreduce", self.cost.allreduce(payload, self.size))
         return result
 
@@ -166,7 +179,7 @@ class SimComm:
         for stack in stacks:
             self._check_stack(stack)
             red = self._tree_sum_stacked(stack)
-            payload += float(red.nbytes)
+            payload += self._payload_bytes(red, stack)
             results.append(red)
         self.tracer.add("allreduce", self.cost.allreduce(payload, self.size))
         return results

@@ -126,17 +126,20 @@ class CostModel:
         Used by the mixed-precision CholQR cost accounting."""
         return 20.0
 
-    def spmv(self, nnz: float, n_rows: float, n_cols_touched: float) -> float:
+    def spmv(self, nnz: float, n_rows: float, n_cols_touched: float,
+             word_bytes: float = _DOUBLE) -> float:
         """CSR SpMV: stream values+indices once, rows of y, gathered x.
 
         ``spmv_efficiency`` covers the irregular x-gather; the fixed
         overhead covers the distributed-SpMV bookkeeping (operand
         import/export, MPI progression, device syncs) that dominates at
         small local sizes — see the MachineSpec module docstring.
+        ``word_bytes`` sizes the *vector* streams (x gather + y rows) at
+        the operand storage precision; matrix values always stream fp64.
         """
         flops = 2.0 * nnz
         bytes_moved = ((_DOUBLE + _INT) * nnz + _INT * (n_rows + 1)
-                       + _DOUBLE * (n_rows + n_cols_touched))
+                       + word_bytes * (n_rows + n_cols_touched))
         return (self.machine.spmv_fixed_overhead
                 + self._roofline(flops, bytes_moved,
                                  self.machine.spmv_efficiency))

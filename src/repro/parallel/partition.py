@@ -93,6 +93,22 @@ class Partition:
             raise PartitionError("row indices outside global range")
         return np.searchsorted(self.offsets, rows, side="right") - 1
 
+    def group_by_owner(self, rows: np.ndarray) -> dict[int, np.ndarray]:
+        """Partition a sorted global row set by owning rank.
+
+        Returns ``{rank: rows_owned_by_rank}`` with only non-empty
+        groups — the shape halo/ghost planners need to size per-peer
+        messages.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size == 0:
+            return {}
+        owners = self.owners(rows)
+        groups: dict[int, np.ndarray] = {}
+        for peer in np.unique(owners):
+            groups[int(peer)] = rows[owners == peer]
+        return groups
+
     def _check_rank(self, rank: int) -> None:
         if not 0 <= rank < self.ranks:
             raise PartitionError(f"rank {rank} outside [0, {self.ranks})")

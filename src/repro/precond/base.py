@@ -6,11 +6,25 @@ distributed vectors.  ``setup`` receives the distributed matrix once;
 the s-step MPK calls it once per step, so its synchronization pattern
 directly affects the solver's communication profile (the reason the
 paper uses a *local* preconditioner).
+
+CA-MPK composition: the communication-avoiding matrix powers kernel can
+only fold ``M^{-1}`` into its ghost-zone closure when the ghost values
+of ``M^{-1} x`` are computable from a *finite* dependency set.
+:attr:`Preconditioner.ghost_compat` declares that set's shape —
+``"pointwise"`` (row ``i`` of ``M^{-1} x`` depends only on row ``i`` of
+``x``: identity, Jacobi), ``"block"`` (depends on the owner rank's whole
+block: block Jacobi), or ``None`` (no finite closure: polynomial and
+other global preconditioners, which the CA kernel must reject).
+Compatible preconditioners implement :meth:`apply_ghosted` (redundant
+apply over a global work array) and :meth:`charge_ghost_apply` (the
+per-rank modeled cost of that redundant work).
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+
+import numpy as np
 
 from repro.distla.multivector import DistMultiVector
 from repro.distla.spmatrix import DistSparseMatrix
@@ -21,6 +35,10 @@ class Preconditioner(ABC):
     """Base class: ``setup`` once, ``apply`` per operator application."""
 
     name: str = "abstract"
+
+    #: CA-MPK ghost-closure shape: "pointwise", "block", or None (see
+    #: module docstring).  None means the CA kernel cannot compose.
+    ghost_compat: str | None = None
 
     def __init__(self) -> None:
         self._matrix: DistSparseMatrix | None = None
@@ -42,6 +60,33 @@ class Preconditioner(ABC):
     def apply(self, x: DistMultiVector, out: DistMultiVector) -> None:
         """``out = M^{-1} x`` (single-column distributed vectors)."""
 
+    # -- CA-MPK ghost composition --------------------------------------
+    def apply_ghosted(self, x: np.ndarray, rows: np.ndarray,
+                      out: np.ndarray, ctype: np.dtype) -> None:
+        """Redundantly apply ``M^{-1}`` on a global-index work array.
+
+        ``x`` and ``out`` are full-length float64 work arrays; only the
+        entries at ``rows`` (a ghost-closure level, block-complete for
+        ``ghost_compat == "block"``) must be read/written.  Results are
+        rounded through ``ctype`` (the operand's container dtype) so the
+        ghost values are bit-identical to what the owning rank's
+        :meth:`apply` stores.
+        """
+        raise ConfigurationError(
+            f"preconditioner {self.name!r} does not compose with the "
+            f"CA matrix powers kernel (ghost_compat=None)")
+
+    def charge_ghost_apply(self, comm, plan, level: int) -> None:
+        """Charge one redundant ghosted apply over closure ``level``.
+
+        ``plan`` is the :class:`~repro.distla.halo.GhostPlan`; per-rank
+        costs follow each rank's own level size, mirroring what
+        :meth:`apply` charges on owned rows alone.
+        """
+        raise ConfigurationError(
+            f"preconditioner {self.name!r} does not compose with the "
+            f"CA matrix powers kernel (ghost_compat=None)")
+
     def _check_ready(self) -> None:
         if not self.is_setup:
             raise ConfigurationError(
@@ -52,6 +97,7 @@ class IdentityPreconditioner(Preconditioner):
     """No-op preconditioner (``M = I``)."""
 
     name = "identity"
+    ghost_compat = "pointwise"
 
     def setup(self, matrix: DistSparseMatrix) -> "IdentityPreconditioner":
         self._matrix = matrix
@@ -59,3 +105,10 @@ class IdentityPreconditioner(Preconditioner):
 
     def apply(self, x: DistMultiVector, out: DistMultiVector) -> None:
         out.assign_from(x)
+
+    def apply_ghosted(self, x: np.ndarray, rows: np.ndarray,
+                      out: np.ndarray, ctype: np.dtype) -> None:
+        out[rows] = x[rows]
+
+    def charge_ghost_apply(self, comm, plan, level: int) -> None:
+        """The identity costs nothing (the MPK skips it entirely)."""

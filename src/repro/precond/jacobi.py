@@ -14,10 +14,12 @@ class JacobiPreconditioner(Preconditioner):
     """``M = diag(A)``: one streaming scale per apply, no messages."""
 
     name = "jacobi"
+    ghost_compat = "pointwise"
 
     def __init__(self) -> None:
         super().__init__()
         self._inv_diag_shards: list[np.ndarray] = []
+        self._inv_diag: np.ndarray | None = None
 
     def _setup_impl(self, matrix: DistSparseMatrix) -> None:
         diag = matrix.diagonal()
@@ -25,6 +27,9 @@ class JacobiPreconditioner(Preconditioner):
             raise NumericalError(
                 "Jacobi preconditioner requires a zero-free diagonal")
         inv = 1.0 / diag
+        # the global inverse diagonal backs the CA-MPK's redundant
+        # ghost-row applies (every rank holds its ghost rows' entries)
+        self._inv_diag = inv
         self._inv_diag_shards = [
             inv[matrix.partition.local_slice(r)][:, np.newaxis]
             for r in range(matrix.partition.ranks)
@@ -38,3 +43,16 @@ class JacobiPreconditioner(Preconditioner):
         comm.charge_local(
             "scale", [comm.cost.blas1(s.size, n_streams=2, writes=1)
                       for s in x.shards])
+
+    def apply_ghosted(self, x: np.ndarray, rows: np.ndarray,
+                      out: np.ndarray, ctype: np.dtype) -> None:
+        self._check_ready()
+        # same cast chain as apply(): multiply in float64, store through
+        # the container dtype
+        out[rows] = (x[rows] * self._inv_diag[rows]).astype(ctype)
+
+    def charge_ghost_apply(self, comm, plan, level: int) -> None:
+        comm.charge_local(
+            "scale", [comm.cost.blas1(int(plan.level_rows[r, level]),
+                                      n_streams=2, writes=1)
+                      for r in range(plan.partition.ranks)])

@@ -1,0 +1,120 @@
+"""Tracer-based communication-budget regression tests.
+
+Every synchronization the solver charges per restart cycle is frozen
+here — halo exchanges split by MPK mode, allreduces split by
+orthogonalization scheme — so a future refactor cannot silently add
+latency-bound communication.  The counts are structural, not tuned:
+
+* halo exchanges: 1 (explicit residual check) + one per basis column
+  for the standard MPK, or + one per s-panel for the CA MPK;
+* allreduces: 1 (residual norm) + the scheme's per-panel collectives
+  (two-stage: one fused stage-1 reduce per panel + one stage-2 pass at
+  the cycle end; BCGS-PIP2: two fused reduces per panel — the paper's
+  "two global reduces per block"; fused sketched two-stage: ONE
+  collective per stage pass, the RGS contract; RBCGS: three per panel —
+  sketch, projection, normalization).
+
+If an intentional algorithm change shifts a budget, update the number
+here *in the same commit* and say why in its message.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.krylov.simulation import Simulation
+from repro.krylov.sstep_gmres import _panel_bounds, sstep_gmres
+from repro.matrices.stencil import laplace2d
+from repro.ortho.bcgs_pip import BCGSPIP2Scheme
+from repro.ortho.randomized import RBCGSScheme, SketchedTwoStageScheme
+from repro.ortho.two_stage import TwoStageScheme
+from repro.parallel.machine import generic_cpu
+
+S = 5
+RESTART = 30
+PANELS = len(_panel_bounds(S, RESTART + 1))  # 6 panels per cycle
+ENGINES = ["loop", "batched"]
+
+
+def run_one_cycle(scheme_factory, engine, mpk_mode="standard", **kw):
+    """Exactly one restart cycle: tol unreachable, maxiter = restart."""
+    sim = Simulation(laplace2d(16), ranks=4, machine=generic_cpu(),
+                     engine=engine)
+    res = sstep_gmres(sim, sim.ones_solution_rhs(), s=S, restart=RESTART,
+                      tol=1e-30, maxiter=RESTART,
+                      scheme=scheme_factory(), mpk_mode=mpk_mode, **kw)
+    assert res.restarts == 1
+    tracer = sim.tracer
+    halo = sum(c for (_, k), c in tracer.counts.items() if k == "halo")
+    return halo, tracer.sync_count(), tracer.sync_count("ortho")
+
+
+class TestHaloBudget:
+    """1 residual matvec + (columns | panels) MPK exchanges per cycle."""
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_standard_mpk_pays_one_exchange_per_column(self, engine):
+        halo, _, _ = run_one_cycle(
+            lambda: TwoStageScheme(big_step=RESTART), engine)
+        assert halo == 1 + RESTART
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_ca_mpk_pays_one_exchange_per_panel(self, engine):
+        halo, _, _ = run_one_cycle(
+            lambda: TwoStageScheme(big_step=RESTART), engine, mpk_mode="ca")
+        assert halo == 1 + PANELS
+
+    def test_mpk_mode_does_not_change_allreduce_budget(self):
+        """CA trades halo latency only — global reductions are the
+        ortho schemes' business and must not move."""
+        _, std_all, std_ortho = run_one_cycle(
+            lambda: TwoStageScheme(big_step=RESTART), "loop")
+        _, ca_all, ca_ortho = run_one_cycle(
+            lambda: TwoStageScheme(big_step=RESTART), "loop", mpk_mode="ca")
+        assert ca_all == std_all
+        assert ca_ortho == std_ortho
+
+
+class TestAllreduceBudget:
+    """Per-cycle global-reduction budgets per orthogonalization scheme."""
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_two_stage(self, engine):
+        _, total, ortho = run_one_cycle(
+            lambda: TwoStageScheme(big_step=RESTART), engine)
+        # one fused stage-1 reduce per panel + one stage-2 pass at the
+        # cycle end + the residual-norm reduce
+        assert ortho == PANELS + 1
+        assert total == ortho + 1
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_bcgs_pip2(self, engine):
+        _, total, ortho = run_one_cycle(BCGSPIP2Scheme, engine)
+        # the paper's one-stage baseline: 2 fused reduces per panel
+        assert ortho == 2 * PANELS
+        assert total == ortho + 1
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_fused_sketched_two_stage(self, engine):
+        _, total, ortho = run_one_cycle(
+            lambda: SketchedTwoStageScheme(big_step=RESTART, fused=True),
+            engine, solve_mode="sketched")
+        # the RGS contract: ONE collective per stage pass (6 panel
+        # passes + 1 cycle-end pass), and the sketched solve path reuses
+        # the scheme's basis sketch at zero extra collectives
+        assert ortho == PANELS + 1
+        assert total == ortho + 1
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_rbcgs(self, engine):
+        _, total, ortho = run_one_cycle(RBCGSScheme, engine)
+        # sketch + projection + normalization reduces per panel
+        assert ortho == 3 * PANELS
+        assert total == ortho + 1
+
+    def test_two_stage_beats_one_stage_budget(self):
+        """The paper's core claim in count form."""
+        _, _, two = run_one_cycle(
+            lambda: TwoStageScheme(big_step=RESTART), "loop")
+        _, _, one = run_one_cycle(BCGSPIP2Scheme, "loop")
+        assert two < one

@@ -1,0 +1,279 @@
+"""Communication-avoiding MPK: bit-identity, communication profile,
+preconditioner composition, degenerate paths."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro import config
+from repro.exceptions import ConfigurationError
+from repro.krylov.basis import ChebyshevBasis, MonomialBasis, NewtonBasis
+from repro.krylov.mpk import MPK_MODES, MatrixPowersKernel, \
+    PreconditionedOperator
+from repro.krylov.simulation import Simulation
+from repro.krylov.sstep_gmres import sstep_gmres
+from repro.matrices.stencil import laplace2d
+from repro.parallel.machine import generic_cpu
+from repro.precond.block_jacobi import BlockJacobiPreconditioner
+from repro.precond.jacobi import JacobiPreconditioner
+from repro.precond.polynomial import ChebyshevPreconditioner
+
+ENGINES = ["loop", "batched"]
+
+
+def make_basis(sim, k, rng, storage="fp64"):
+    basis = sim.zeros(k, storage=storage)
+    v0 = rng.standard_normal(sim.n)
+    v0 /= np.linalg.norm(v0)
+    basis.view_cols(0).assign_from(sim.vector_from(v0, storage=storage))
+    return basis
+
+
+def generate(mode, engine, *, nx=12, ranks=4, poly=None, precond_factory=None,
+             panels=((1, 6), (6, 9)), storage="fp64", seed=3):
+    with config.engine_scope(engine):
+        sim = Simulation(laplace2d(nx), ranks=ranks, machine=generic_cpu(),
+                         engine=engine)
+        pc = (precond_factory().setup(sim.matrix)
+              if precond_factory is not None else None)
+        op = PreconditionedOperator(sim.matrix, pc)
+        mpk = MatrixPowersKernel(op, poly, mode=mode)
+        basis = make_basis(sim, max(hi for _, hi in panels),
+                           np.random.default_rng(seed), storage=storage)
+        for lo, hi in panels:
+            mpk.extend(basis, lo, hi)
+        return basis.to_global(), sim.tracer
+
+
+POLYS = {
+    "monomial": MonomialBasis,
+    "newton": lambda: NewtonBasis(np.array([0.4, 1.3, 2.9, 4.1, 5.5])),
+    "chebyshev": lambda: ChebyshevBasis(0.1, 8.0),
+}
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("poly", sorted(POLYS))
+    def test_ca_matches_standard(self, engine, poly):
+        std, _ = generate("standard", engine, poly=POLYS[poly]())
+        ca, _ = generate("ca", engine, poly=POLYS[poly]())
+        np.testing.assert_array_equal(std, ca)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("pc", [JacobiPreconditioner,
+                                    BlockJacobiPreconditioner])
+    def test_ca_matches_standard_preconditioned(self, engine, pc):
+        std, _ = generate("standard", engine, precond_factory=pc)
+        ca, _ = generate("ca", engine, precond_factory=pc)
+        np.testing.assert_array_equal(std, ca)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_ca_matches_standard_three_term_preconditioned(self, engine):
+        """Chebyshev recurrence (gamma != 0) reaches back across the
+        panel boundary — the prev vector rides in the same exchange."""
+        std, _ = generate("standard", engine,
+                          poly=ChebyshevBasis(0.1, 8.0),
+                          precond_factory=BlockJacobiPreconditioner)
+        ca, _ = generate("ca", engine, poly=ChebyshevBasis(0.1, 8.0),
+                         precond_factory=BlockJacobiPreconditioner)
+        np.testing.assert_array_equal(std, ca)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_ca_matches_standard_fp32_storage(self, engine):
+        std, _ = generate("standard", engine, storage="fp32")
+        ca, _ = generate("ca", engine, storage="fp32")
+        np.testing.assert_array_equal(std, ca)
+
+    def test_engines_bit_identical_in_ca_mode(self):
+        loop, _ = generate("ca", "loop", poly=POLYS["newton"]())
+        batched, _ = generate("ca", "batched", poly=POLYS["newton"]())
+        np.testing.assert_array_equal(loop, batched)
+
+
+class TestCommunicationProfile:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_one_exchange_per_panel(self, engine):
+        _, tr_std = generate("standard", engine)
+        _, tr_ca = generate("ca", engine)
+        # two panels of 5 + 3 steps: standard pays one halo per step
+        assert tr_std.kernel_count("spmv", "halo") == 8
+        assert tr_ca.kernel_count("spmv", "halo") == 2
+
+    def test_same_spmv_call_count(self):
+        _, tr_std = generate("standard", "loop")
+        _, tr_ca = generate("ca", "loop")
+        assert (tr_std.kernel_count("spmv", "spmv_local")
+                == tr_ca.kernel_count("spmv", "spmv_local") == 8)
+
+    def test_ca_charges_redundant_work(self):
+        """CA's local SpMV seconds exceed standard's (ghost rings are
+        recomputed) while its halo seconds shrink."""
+        _, tr_std = generate("standard", "loop", nx=16, ranks=8)
+        _, tr_ca = generate("ca", "loop", nx=16, ranks=8)
+        assert (tr_ca.kernel_seconds("spmv", "spmv_local")
+                > tr_std.kernel_seconds("spmv", "spmv_local"))
+        assert (tr_ca.kernel_seconds("spmv", "halo")
+                < tr_std.kernel_seconds("spmv", "halo"))
+
+    def test_s1_panels_degenerate_to_standard_costs(self):
+        """With s=1 panels the depth-1 closure IS the standard halo, so
+        CA charges exactly the standard kernel's modeled time."""
+        panels = tuple((k, k + 1) for k in range(1, 7))
+        _, tr_std = generate("standard", "loop", panels=panels)
+        _, tr_ca = generate("ca", "loop", panels=panels)
+        assert tr_std.kernel_count("spmv", "halo") == 6
+        assert tr_ca.kernel_count("spmv", "halo") == 6
+        assert tr_ca.clock == pytest.approx(tr_std.clock, rel=1e-12)
+
+
+class TestDegeneratePaths:
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("ranks", [1, 3])
+    def test_ghost_level_zero_block_diagonal(self, engine, ranks):
+        """No inter-rank coupling: empty ghost regions, zero-byte
+        exchange, still bit-identical under both engines."""
+        blocks = [sp.diags([2.0] * 4) + sp.diags([1.0] * 3, 1)
+                  for _ in range(3)]
+        a = sp.block_diag(blocks).tocsr()
+        with config.engine_scope(engine):
+            res = {}
+            for mode in MPK_MODES:
+                sim = Simulation(a, ranks=ranks, machine=generic_cpu(),
+                                 engine=engine)
+                basis = make_basis(sim, 5, np.random.default_rng(0))
+                mpk = MatrixPowersKernel(
+                    PreconditionedOperator(sim.matrix), mode=mode)
+                mpk.extend(basis, 1, 5)
+                res[mode] = (basis.to_global(),
+                             sim.tracer.kernel_seconds("spmv", "halo"))
+            np.testing.assert_array_equal(res["standard"][0], res["ca"][0])
+            assert res["ca"][1] == 0.0  # nothing to exchange
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_single_step_panel(self, engine):
+        std, _ = generate("standard", engine, panels=((1, 2),))
+        ca, _ = generate("ca", engine, panels=((1, 2),))
+        np.testing.assert_array_equal(std, ca)
+
+    def test_empty_panel_is_noop(self):
+        sim = Simulation(laplace2d(8), ranks=4, machine=generic_cpu())
+        basis = make_basis(sim, 4, np.random.default_rng(0))
+        mpk = MatrixPowersKernel(PreconditionedOperator(sim.matrix),
+                                 mode="ca")
+        before = sim.tracer.clock
+        mpk.extend(basis, 2, 2)
+        assert sim.tracer.clock == before
+
+
+class TestComposition:
+    def test_general_preconditioner_rejected(self):
+        sim = Simulation(laplace2d(8), ranks=4, machine=generic_cpu())
+        pc = ChebyshevPreconditioner(degree=2).setup(sim.matrix)
+        op = PreconditionedOperator(sim.matrix, pc)
+        assert not op.supports_ca
+        with pytest.raises(ConfigurationError, match="compose"):
+            MatrixPowersKernel(op, mode="ca")
+
+    def test_unknown_mode_rejected(self):
+        sim = Simulation(laplace2d(8), ranks=4, machine=generic_cpu())
+        with pytest.raises(ConfigurationError):
+            MatrixPowersKernel(PreconditionedOperator(sim.matrix),
+                               mode="avoidant")
+
+    def test_ghost_expand_follows_preconditioner(self):
+        sim = Simulation(laplace2d(8), ranks=4, machine=generic_cpu())
+        assert PreconditionedOperator(sim.matrix).ghost_expand == "pointwise"
+        jac = PreconditionedOperator(
+            sim.matrix, JacobiPreconditioner().setup(sim.matrix))
+        assert jac.ghost_expand == "pointwise"
+        bj = PreconditionedOperator(
+            sim.matrix, BlockJacobiPreconditioner().setup(sim.matrix))
+        assert bj.ghost_expand == "block"
+
+
+class TestSolverIntegration:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_sstep_gmres_ca_converges_identically(self, engine):
+        results = {}
+        for mode in MPK_MODES:
+            sim = Simulation(laplace2d(16), ranks=4, machine=generic_cpu(),
+                             engine=engine)
+            results[mode] = sstep_gmres(sim, sim.ones_solution_rhs(), s=5,
+                                        restart=20, tol=1e-8, maxiter=2000,
+                                        mpk_mode=mode)
+        std, ca = results["standard"], results["ca"]
+        assert ca.converged
+        assert ca.diagnostics["mpk_mode"] == "ca"
+        np.testing.assert_array_equal(std.x, ca.x)
+        assert std.iterations == ca.iterations
+
+    def test_auto_mode_falls_back_for_general_preconditioner(self):
+        sim = Simulation(laplace2d(12), ranks=4, machine=generic_cpu())
+        pc = ChebyshevPreconditioner(degree=2)
+        res = sstep_gmres(sim, sim.ones_solution_rhs(), s=4, restart=12,
+                          tol=1e-8, maxiter=600, precond=pc, mpk_mode="auto")
+        assert res.diagnostics["mpk_mode"] == "standard"
+        assert res.converged
+
+    def test_auto_mode_selects_ca_for_local_preconditioner(self):
+        sim = Simulation(laplace2d(12), ranks=4, machine=generic_cpu())
+        res = sstep_gmres(sim, sim.ones_solution_rhs(), s=4, restart=12,
+                          tol=1e-8, maxiter=600,
+                          precond=JacobiPreconditioner(), mpk_mode="auto")
+        assert res.diagnostics["mpk_mode"] == "ca"
+        assert res.converged
+
+    def test_ca_mode_raises_for_general_preconditioner(self):
+        sim = Simulation(laplace2d(12), ranks=4, machine=generic_cpu())
+        with pytest.raises(ConfigurationError, match="compose"):
+            sstep_gmres(sim, sim.ones_solution_rhs(), s=4, restart=12,
+                        precond=ChebyshevPreconditioner(degree=2),
+                        mpk_mode="ca")
+
+    def test_unknown_mpk_mode_rejected(self):
+        sim = Simulation(laplace2d(8), ranks=4, machine=generic_cpu())
+        with pytest.raises(ConfigurationError):
+            sstep_gmres(sim, np.ones(sim.n), mpk_mode="always")
+
+
+class TestScratchInvalidation:
+    def test_scratch_rebinds_on_comm_change(self):
+        """A stale scratch bound to another simulation's communicator
+        must not leak charges into the wrong tracer."""
+        pc = JacobiPreconditioner()
+        sim1 = Simulation(laplace2d(8), ranks=4, machine=generic_cpu())
+        op = PreconditionedOperator(sim1.matrix,
+                                    pc.setup(sim1.matrix))
+        x1 = sim1.vector_from(np.ones(sim1.n))
+        out1 = sim1.zeros(1)
+        op.apply(x1, out1)
+        scratch1 = op._scratch
+        assert scratch1.comm is sim1.comm
+        # same partition shape, different simulation/communicator
+        sim2 = Simulation(laplace2d(8), ranks=4, machine=generic_cpu())
+        op.matrix = sim2.matrix
+        op.precond = JacobiPreconditioner().setup(sim2.matrix)
+        x2 = sim2.vector_from(np.ones(sim2.n))
+        out2 = sim2.zeros(1)
+        op.apply(x2, out2)
+        assert op._scratch is not scratch1
+        assert op._scratch.comm is sim2.comm
+
+    def test_scratch_rebinds_on_storage_change(self):
+        sim = Simulation(laplace2d(8), ranks=4, machine=generic_cpu())
+        op = PreconditionedOperator(
+            sim.matrix, JacobiPreconditioner().setup(sim.matrix))
+        x64 = sim.vector_from(np.ones(sim.n))
+        op.apply(x64, sim.zeros(1))
+        s64 = op._scratch
+        assert s64.storage == "fp64"
+        x32 = sim.vector_from(np.ones(sim.n), storage="fp32")
+        op.apply(x32, sim.zeros(1, storage="fp32"))
+        assert op._scratch is not s64
+        assert op._scratch.storage == "fp32"
+        # fp64 again -> rebuilds once more
+        op.apply(x64, sim.zeros(1))
+        assert op._scratch.storage == "fp64"

@@ -238,3 +238,61 @@ class TestEdgeCases:
                           solve_mode="sketched")
         assert not res.converged
         assert res.stalled
+
+
+class TestAutomaticResketch:
+    """The leave-one-out monitor redraws the embedding mid-solve."""
+
+    def test_healthy_embedding_never_resketches(self):
+        sim = make_sim(laplace2d(16))
+        res = sstep_gmres(sim, sim.ones_solution_rhs(), s=5, restart=20,
+                          tol=1e-8, maxiter=3000,
+                          scheme=TwoStageScheme(big_step=20),
+                          solve_mode="sketched")
+        assert res.converged
+        assert res.diagnostics["resketch_count"] == 0
+
+    def test_threshold_crossing_redraws_operator(self):
+        """With the threshold below any achievable distortion, every
+        cycle's checkpoint arms a redraw; the solve keeps converging on
+        the freshly drawn embeddings and reports the count."""
+        sim = make_sim(laplace2d(16))
+        res = sstep_gmres(sim, sim.ones_solution_rhs(), s=5, restart=10,
+                          tol=1e-8, maxiter=3000,
+                          scheme=TwoStageScheme(big_step=10),
+                          solve_mode="sketched", resketch_threshold=-1.0)
+        assert res.converged
+        assert res.diagnostics["resketch_count"] >= 1
+        # at most one redraw per restart cycle, however many checkpoints
+        assert res.diagnostics["resketch_count"] <= res.restarts
+
+    def test_resketch_overrides_scheme_sketch(self):
+        """After a redraw the solver cannot keep reusing the scheme's
+        basis sketch (it cannot redraw the scheme's operators), so it
+        maintains its own — and still converges with the fused scheme."""
+        sim = make_sim(laplace2d(16))
+        res = sstep_gmres(sim, sim.ones_solution_rhs(), s=5, restart=10,
+                          tol=1e-8, maxiter=3000,
+                          scheme=SketchedTwoStageScheme(big_step=10,
+                                                        fused=True),
+                          solve_mode="sketched", resketch_threshold=-1.0)
+        assert res.converged
+        assert res.diagnostics["resketch_count"] >= 1
+
+    def test_disabled_threshold_matches_default_on_healthy_solve(self):
+        """None disables the trigger; on a healthy solve the default
+        threshold never fires either, so results are bit-identical."""
+        def solve(threshold):
+            sim = make_sim(laplace2d(12))
+            return sstep_gmres(sim, sim.ones_solution_rhs(), s=4,
+                               restart=12, tol=1e-8, maxiter=2000,
+                               scheme=TwoStageScheme(big_step=12),
+                               solve_mode="sketched",
+                               resketch_threshold=threshold)
+        from repro.krylov.sstep_gmres import DEFAULT_RESKETCH_THRESHOLD
+        a = solve(None)
+        b = solve(DEFAULT_RESKETCH_THRESHOLD)
+        np.testing.assert_array_equal(a.x, b.x)
+        assert a.iterations == b.iterations
+        assert a.diagnostics["resketch_count"] == 0
+        assert b.diagnostics["resketch_count"] == 0

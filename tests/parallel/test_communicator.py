@@ -77,3 +77,49 @@ class TestLocalCharges:
     def test_size_validation(self):
         with pytest.raises(CommunicatorError):
             SimComm(generic_cpu(), 0)
+
+
+class TestAllreducePayloadWordSize:
+    """Low-precision reductions (fp32 contribution partials) charge their
+    payload at the storage word size; fp64 stays bit-identical to the
+    historical always-8-byte sizing."""
+
+    def test_fp64_payload_matches_result_nbytes(self, comm4):
+        shards = [np.ones((3, 3)) for _ in range(4)]
+        comm4.allreduce_sum(shards)
+        expected = comm4.cost.allreduce(9 * 8.0, 4)
+        assert comm4.tracer.kernel_seconds("other", "allreduce") == expected
+
+    def test_fp32_contributions_charge_half_payload(self):
+        m = summit()
+        a = SimComm(m, 24, Tracer())
+        b = SimComm(m, 24, Tracer())
+        a.allreduce_sum([np.ones((8, 8), dtype=np.float32)] * 24)
+        b.allreduce_sum([np.ones((8, 8))] * 24)
+        assert a.tracer.clock == a.cost.allreduce(64 * 4.0, 24)
+        assert b.tracer.clock == b.cost.allreduce(64 * 8.0, 24)
+        assert a.tracer.clock < b.tracer.clock
+
+    def test_fp32_result_is_still_float64(self, comm4):
+        """The reduction tree stays float64 regardless of what travels."""
+        out = comm4.allreduce_sum([np.ones(4, dtype=np.float32)] * 4)
+        assert out.dtype == np.float64
+
+    def test_stacked_variant_matches_loop_variant(self):
+        m = summit()
+        a = SimComm(m, 8, Tracer())
+        b = SimComm(m, 8, Tracer())
+        stack = np.ones((8, 4, 4), dtype=np.float32)
+        a.allreduce_sum_stacked(stack)
+        b.allreduce_sum(list(stack))
+        assert a.tracer.clock == b.tracer.clock
+
+    def test_fused_mixed_precision_groups(self):
+        """Each group travels at its own contribution word size."""
+        m = summit()
+        comm = SimComm(m, 8, Tracer())
+        g32 = [np.ones(16, dtype=np.float32)] * 8
+        g64 = [np.ones(16)] * 8
+        comm.fused_allreduce_sum([g32, g64])
+        expected = comm.cost.allreduce(16 * 4.0 + 16 * 8.0, 8)
+        assert comm.tracer.clock == expected

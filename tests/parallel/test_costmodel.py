@@ -134,3 +134,20 @@ class TestMachines:
         assert m.kernel_latency == 1e-9
         assert m.name == "summit"
         assert summit().kernel_latency != 1e-9  # original untouched
+
+
+class TestSpmvWordSize:
+    def test_default_is_fp64_bit_identical(self, cm):
+        assert cm.spmv(1e6, 1e5, 1e5) == cm.spmv(1e6, 1e5, 1e5,
+                                                 word_bytes=8.0)
+
+    def test_low_precision_vectors_cost_less(self, cm):
+        # bandwidth-dominated shape: halving the vector-stream word size
+        # must strictly reduce the modeled time (matrix values stay fp64)
+        t64 = cm.spmv(1e8, 1e7, 1e7)
+        t32 = cm.spmv(1e8, 1e7, 1e7, word_bytes=4.0)
+        assert t32 < t64
+        # and the delta is exactly the vector-stream bytes saved
+        saved = 4.0 * 2e7 / (cm.machine.mem_bandwidth
+                             * cm.machine.spmv_efficiency)
+        assert t64 - t32 == pytest.approx(saved, rel=1e-12)

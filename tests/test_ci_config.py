@@ -80,6 +80,7 @@ class TestWorkflow:
         assert "sketch_stability" in runs
         assert "rgs_convergence" in runs
         assert "precision_stability" in runs
+        assert "ca_mpk_tradeoff" in runs
         uploads = [step for step in nightly["steps"]
                    if "upload-artifact" in str(step.get("uses", ""))]
         assert uploads and uploads[0]["with"]["path"] == "experiment-out/"
@@ -92,7 +93,7 @@ class TestWorkflow:
         runs = "\n".join(step.get("run", "")
                          for step in doc["jobs"]["bench-smoke"]["steps"])
         for artifact in ("BENCH_kernels", "BENCH_sketch", "BENCH_gmres",
-                         "BENCH_precision"):
+                         "BENCH_precision", "BENCH_mpk"):
             assert (f"benchmarks/{artifact}.json" in runs
                     and f"bench-out/{artifact}.json" in runs), (
                 f"{artifact} not gated against its committed baseline")
@@ -109,9 +110,12 @@ class TestWorkflow:
                     "benchmarks/BENCH_gmres.json",
                     "benchmarks/bench_precision_kernels.py",
                     "benchmarks/BENCH_precision.json",
+                    "benchmarks/bench_mpk.py",
+                    "benchmarks/BENCH_mpk.json",
                     "src/repro/experiments/sketch_stability.py",
                     "src/repro/experiments/rgs_convergence.py",
-                    "src/repro/experiments/precision_stability.py"):
+                    "src/repro/experiments/precision_stability.py",
+                    "src/repro/experiments/ca_mpk_tradeoff.py"):
             path = ref
             if ref.startswith("src/repro/experiments/"):
                 # referenced as a module invocation in the nightly job
@@ -205,6 +209,24 @@ class TestCommittedBaseline:
             rec = art.record(f"test_sketch_apply[{family}-batched]")
             assert math.isclose(modeled, rec.extra["modeled_seconds"],
                                 rel_tol=1e-12), family
+
+    def test_mpk_baseline_artifact(self):
+        """The committed MPK baseline proves the CA acceptance claims:
+        1 halo exchange per panel (vs s per panel standard), modeled
+        speedup > 1 in a latency-dominated regime, engine-identical
+        modeled seconds."""
+        from repro.bench.artifacts import load_artifact
+        art = load_artifact(REPO / "benchmarks" / "BENCH_mpk.json")
+        assert art.name == "mpk"
+        for mode, halos in (("standard", 30), ("ca", 6)):
+            loop = art.record(f"test_mpk_basis[{mode}-loop]")
+            batched = art.record(f"test_mpk_basis[{mode}-batched]")
+            assert loop.extra["halo_count"] == halos
+            assert loop.extra["modeled_seconds"] == \
+                batched.extra["modeled_seconds"]
+        lat = art.record("test_mpk_ca_latency_speedup")
+        assert lat.extra["modeled_speedup_lat16x"] > 1.0
+        assert lat.extra["halo_ca"] < lat.extra["halo_standard"]
 
     def test_gmres_baseline_artifact(self):
         """The committed end-to-end solver baseline covers the classical
