@@ -17,6 +17,7 @@ from __future__ import annotations
 import pytest
 
 from repro import config
+from repro.krylov.options import SolverOptions
 from repro.krylov.simulation import Simulation
 from repro.krylov.sstep_gmres import sstep_gmres
 from repro.matrices.stencil import laplace2d
@@ -32,12 +33,13 @@ RESTART = 30
 TOL = 1e-8
 
 
-def _solve(scheme_factory, engine=None, **kw):
+def _solve(scheme_factory, engine=None, options=None):
     sim = Simulation(laplace2d(NX), ranks=RANKS, machine=generic_cpu(),
                      engine=engine)
     b = sim.ones_solution_rhs()
     return sstep_gmres(sim, b, s=S, restart=RESTART, tol=TOL,
-                       maxiter=6000, scheme=scheme_factory(), **kw)
+                       maxiter=6000, scheme=scheme_factory(),
+                       options=options)
 
 
 def _record(benchmark, res, engine=None):
@@ -78,7 +80,7 @@ def test_solve_rgs_sketched(benchmark, check):
     sketch-space least squares."""
     factory = lambda: SketchedTwoStageScheme(  # noqa: E731
         big_step=RESTART, fused=True)
-    res = _solve(factory, solve_mode="sketched")
+    res = _solve(factory, options=SolverOptions(solve_mode="sketched"))
     classical = _solve(lambda: TwoStageScheme(big_step=RESTART))
     check(res.converged, "randomized GMRES converges on the Laplacian")
     check(res.diagnostics.get("solve_mode") == "sketched",
@@ -88,4 +90,5 @@ def test_solve_rgs_sketched(benchmark, check):
           "fused single-collective stage passes keep the sketched solve "
           "in the same synchronization regime as the classical two-stage")
     _record(benchmark, res)
-    benchmark(lambda: _solve(factory, solve_mode="sketched"))
+    benchmark(lambda: _solve(factory,
+                             options=SolverOptions(solve_mode="sketched")))

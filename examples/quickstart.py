@@ -46,7 +46,9 @@ def main() -> None:
                               maxiter=20_000)
         else:
             res = repro.sstep_gmres(sim, b, s=5, restart=60, tol=args.tol,
-                                    maxiter=20_000, scheme=scheme)
+                                    maxiter=20_000, scheme=scheme,
+                                    options=repro.SolverOptions(
+                                        mpk_mode="auto"))
         err = float(np.max(np.abs(res.x - 1.0)))
         rows.append([label, res.iterations,
                      f"{res.relative_residual:.2e}", f"{err:.2e}",

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""CI smoke for the multiprocessing execution backend.
+
+Runs one small s-step GMRES solve on ``backend="sim"`` and again on
+``backend="mp"`` (every rank a real OS process over shared memory) and
+asserts the executor's contract:
+
+* the solutions are **bit-identical** — the mp reductions fold in the
+  exact recursive-doubling pair order the planner models;
+* MpComm's modeled twin tracer charged **exactly** the seconds the sim
+  run predicts — the duplicated charge formulas have not drifted;
+* the measured tracer actually recorded wall clock in every phase the
+  solve touched.
+
+Deliberately NOT a pytest file: CI runs it as a separate step under a
+hard ``timeout`` so a deadlocked worker (the characteristic failure
+mode of barrier/pipe bugs) kills the step instead of hanging the whole
+test job.
+
+Usage: PYTHONPATH=src python scripts/mp_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+
+def main() -> int:
+    from repro.krylov.simulation import Simulation
+    from repro.krylov.sstep_gmres import SolverOptions, sstep_gmres
+    from repro.matrices.stencil import laplace2d
+    from repro.ortho.two_stage import TwoStageScheme
+
+    a = laplace2d(24)
+    b = np.ones(a.shape[0])
+    opts = SolverOptions(mpk_mode="auto")
+
+    def solve(backend):
+        with Simulation(a, ranks=4, backend=backend) as sim:
+            res = sstep_gmres(sim, b, s=3, restart=12, tol=1e-8,
+                              scheme=TwoStageScheme(12), options=opts)
+            modeled = (sim.comm.modeled.clock if backend == "mp"
+                       else sim.tracer.clock)
+            measured_phases = (dict(sim.tracer.by_phase)
+                               if backend == "mp" else {})
+        return res, modeled, measured_phases
+
+    res_sim, clock_sim, _ = solve("sim")
+    res_mp, clock_mp, measured = solve("mp")
+
+    failures = []
+    if not res_sim.converged:
+        failures.append("sim solve did not converge")
+    if res_mp.x.tobytes() != res_sim.x.tobytes():
+        failures.append("mp solution is not bit-identical to sim")
+    if clock_mp != clock_sim:
+        failures.append(
+            f"mp modeled twin clock {clock_mp!r} != sim clock {clock_sim!r}")
+    for phase in ("spmv", "ortho"):
+        if measured.get(phase, 0.0) <= 0.0:
+            failures.append(f"no measured wall clock in phase {phase!r}")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    wall = sum(measured.values())
+    print(f"mp smoke OK: {res_mp.iterations} iterations bit-identical "
+          f"across backends; modeled {clock_sim:.4g}s, "
+          f"measured {wall:.4g}s wall")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,12 +11,18 @@ BCGS-PIP2, the two-stage scheme), the s-step GMRES solver around them,
 and an execution-driven simulator of the paper's GPU-cluster substrate
 for the performance studies.
 
-Quickstart::
+Quickstart (the curated top-level surface is all you need)::
 
+    import numpy as np
     import repro
+
     a = repro.matrices.laplace2d(64)
-    sim = repro.Simulation(a, ranks=4)
-    result = repro.sstep_gmres(sim, scheme=repro.TwoStageScheme(60))
+    b = np.ones(a.shape[0])
+    with repro.Simulation(a, ranks=4) as sim:   # backend="mp" for real processes
+        result = repro.sstep_gmres(
+            sim, b, s=5, restart=30,
+            scheme=repro.get_scheme("two-stage", restart=30),
+            options=repro.SolverOptions(mpk_mode="auto"))
 
 See ``examples/quickstart.py`` and README.md.
 """
@@ -24,6 +30,7 @@ See ``examples/quickstart.py`` and README.md.
 from repro._version import __version__
 from repro import (config, dd, distla, matrices, ortho, parallel, precision,
                    precond, sketch)
+from repro.parallel import BACKENDS, Communicator, make_comm
 from repro.exceptions import (
     CholeskyBreakdownError,
     ConfigurationError,
@@ -50,8 +57,8 @@ from repro.ortho import (
     get_scheme,
 )
 from repro.precision import PrecisionPolicy, resolve_policy
-from repro.krylov import (Simulation, adaptive_sstep_gmres, gmres, gmres_ir,
-                          pipelined_gmres, sstep_gmres)
+from repro.krylov import (Simulation, SolverOptions, adaptive_sstep_gmres,
+                          gmres, gmres_ir, pipelined_gmres, sstep_gmres)
 
 __all__ = [
     "__version__",
@@ -87,7 +94,11 @@ __all__ = [
     "SketchedCholQR",
     "HouseholderQR",
     "TSQRFactor",
+    "BACKENDS",
+    "Communicator",
+    "make_comm",
     "Simulation",
+    "SolverOptions",
     "gmres",
     "sstep_gmres",
     "gmres_ir",

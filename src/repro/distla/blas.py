@@ -23,7 +23,6 @@ from typing import Optional, Union
 
 import numpy as np
 
-from repro.dd.core import dd_add
 from repro.dd.linalg import matmul_dd
 from repro.distla import engine as _engine
 from repro.distla.multivector import DistMultiVector
@@ -106,18 +105,9 @@ def dot_dd_dist(x: DistMultiVector, y: DistMultiVector
                       / comm.machine.peak_flops)
         costs.append(max(base, comm.machine.kernel_latency + flops_term))
     comm.charge_local("dot", costs)
-    # One collective, double payload; combining in dd keeps full accuracy.
-    items = list(zip(his, los))
-    while len(items) > 1:
-        half = len(items) // 2
-        merged = [dd_add(items[i], items[i + half]) for i in range(half)]
-        if len(items) % 2:
-            merged.append(items[-1])
-        items = merged
-    acc = items[0]
-    payload = float(acc[0].nbytes + acc[1].nbytes)
-    comm.tracer.add("allreduce", comm.cost.allreduce(payload, comm.size))
-    return acc
+    # One collective, double payload; combining in dd keeps full accuracy
+    # (the communicator folds the (hi, lo) pairs in tree order).
+    return comm.allreduce_dd(his, los)
 
 
 def column_norms(x: DistMultiVector,

@@ -101,8 +101,11 @@ class DistMultiVector:
               accumulate: str = "fp64") -> "DistMultiVector":
         dtype = _pdtypes.container_dtype(storage)
         if partition.is_uniform:
-            base = np.zeros((partition.ranks, partition.local_count(0), k),
-                            dtype=dtype)
+            # the communicator owns stack storage: the simulator hands
+            # back heap arrays, the mp backend shared-memory segments its
+            # worker ranks can reach (see repro.parallel.api)
+            base = comm.alloc_stack(partition.ranks, partition.local_count(0),
+                                    k, dtype)
             return cls(partition, comm, list(base), _stack=base,
                        storage=storage, accumulate=accumulate)
         shards = [np.zeros((partition.local_count(r), k), dtype=dtype)
@@ -126,8 +129,10 @@ class DistMultiVector:
                 f"array has {arr.shape[0]} rows, partition expects "
                 f"{partition.n_global}")
         if partition.is_uniform:
-            base = np.array(_pdtypes.quantize(arr, storage), copy=True).reshape(
-                partition.ranks, partition.local_count(0), arr.shape[1])
+            base = comm.alloc_stack(partition.ranks, partition.local_count(0),
+                                    arr.shape[1],
+                                    _pdtypes.container_dtype(storage))
+            base[...] = _pdtypes.quantize(arr, storage).reshape(base.shape)
             return cls(partition, comm, list(base), _stack=base,
                        storage=storage, accumulate=accumulate)
         shards = [np.array(_pdtypes.quantize(arr[partition.local_slice(r)],

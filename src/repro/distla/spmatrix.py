@@ -84,6 +84,16 @@ class DistSparseMatrix:
             plan = GhostPlan.analyze(self._global_csr, self.partition,
                                      depth, expand=expand)
             self._ghost_plans[key] = plan
+            # closure analysis is real setup work — charge it on the
+            # cache miss so short solves don't get deep-halo planning
+            # for free (reuse across panels/solves stays free)
+            with self.comm.tracer.phase("spmv"):
+                self.comm.charge_local("ghost_plan", [
+                    self.comm.cost.ghost_plan_analysis(
+                        float(plan.level_rows[r].sum()),
+                        float(plan.level_nnz[r].sum()))
+                    for r in range(self.partition.ranks)
+                ])
         return plan
 
     # ------------------------------------------------------------------
@@ -104,18 +114,24 @@ class DistSparseMatrix:
             out = DistMultiVector.zeros(self.partition, comm, 1)
         elif out.n_cols != 1 or out.partition != self.partition:
             raise ShapeError("out vector is not conformal")
-        x_global = x.to_global()[:, 0]
+        # a backend with real ranks may execute the SpMV itself (each
+        # worker gathers the operand and computes its own block row);
+        # the simulator returns False and the driver computes below —
+        # modeled charges are identical either way
+        executed = comm.exec_spmv(self, x, out)
         if kernel_phase_halo:
             # ghost rows travel at the operand's storage word size
             comm.charge_halo(self.halo.recv_bytes(x.word_bytes))
+        x_global = None if executed else x.to_global()[:, 0]
         costs = []
         quantized = out.storage != "fp64"
         for rank, block in enumerate(self.local_blocks):
-            # scipy upcasts low-precision operands to float64 for the
-            # local SpMV; results round back to ``out``'s storage grid.
-            y_local = block @ x_global
-            out.shards[rank][:, 0] = (out.quantize(y_local) if quantized
-                                      else y_local)
+            if not executed:
+                # scipy upcasts low-precision operands to float64 for the
+                # local SpMV; results round back to ``out``'s storage grid.
+                y_local = block @ x_global
+                out.shards[rank][:, 0] = (out.quantize(y_local) if quantized
+                                          else y_local)
             touched = (self.partition.local_count(rank)
                        + int(self.halo.halo_counts[rank]))
             costs.append(comm.cost.spmv(block.nnz, block.shape[0], touched,

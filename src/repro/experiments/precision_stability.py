@@ -40,6 +40,7 @@ from repro.distla.multivector import DistMultiVector
 from repro.exceptions import CholeskyBreakdownError
 from repro.experiments.common import ExperimentTable, fmt
 from repro.krylov.ir import gmres_ir
+from repro.krylov.options import SolverOptions
 from repro.krylov.simulation import Simulation
 from repro.krylov.sstep_gmres import sstep_gmres
 from repro.matrices.stencil import laplace2d
@@ -164,7 +165,8 @@ def run_ir(nx: int = 32, *, s: int = 5, restart: int = 30,
             refinements = res.diagnostics["refinements"]
         else:
             res = sstep_gmres(sim, b, s=s, restart=restart, tol=tol,
-                              maxiter=maxiter, precision=precision)
+                              maxiter=maxiter,
+                              options=SolverOptions(precision=precision))
             refinements = "-"
         true_res = float(np.linalg.norm(b - a @ res.x) / np.linalg.norm(b))
         status = "converged" if res.converged else (

@@ -7,7 +7,8 @@ ill-conditioned that the classical two-stage CholQR pipeline cannot
 hold them, the *randomized* solve path —
 :class:`~repro.ortho.randomized.SketchedTwoStageScheme` with
 single-collective fused stage passes plus
-``sstep_gmres(..., solve_mode="sketched")`` — still converges, because
+``sstep_gmres(..., options=SolverOptions(solve_mode="sketched"))`` —
+still converges, because
 neither piece ever relies on explicit l2 orthogonality: the scheme only
 whitens through a sketch, and the solver minimizes the small
 least-squares problem in sketch space
@@ -34,6 +35,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.experiments.common import ExperimentTable, fmt
+from repro.krylov.options import SolverOptions
 from repro.krylov.simulation import Simulation
 from repro.krylov.sstep_gmres import sstep_gmres
 from repro.ortho.randomized import SketchedTwoStageScheme
@@ -87,7 +89,7 @@ def run_case(kappa: float, s: int, restart: int, *, n: int = 400,
             Simulation(a, ranks=ranks, machine=generic_cpu()), b, s=s,
             restart=restart, tol=tol, maxiter=maxiter,
             scheme=SketchedTwoStageScheme(big_step=restart, fused=True),
-            solve_mode="sketched")
+            options=SolverOptions(solve_mode="sketched"))
     return {"kappa": kappa, "s": s, "restart": restart,
             "basis_cond": basis_cond,
             "classical": classical, "sketched": sketched,

@@ -11,6 +11,7 @@ import sys
 
 from repro.experiments import (
     ablations,
+    backend_validation,
     ca_mpk_tradeoff,
     fig6,
     fig7,
@@ -43,6 +44,7 @@ _DISPATCH = {
     "rgs": rgs_convergence.main,
     "precision": precision_stability.main,
     "ca_mpk": ca_mpk_tradeoff.main,
+    "backend": backend_validation.main,
 }
 
 
@@ -69,6 +71,8 @@ def run_all_quick() -> None:
     for t in precision_stability.run(n=1500, nx=20, maxiter=3000):
         print(t.render(), "\n")
     print(ca_mpk_tradeoff.run(nx=24, ranks=8).render(), "\n")
+    print(backend_validation.run(nx=24, restart=12, repeats=1)[0].render(),
+          "\n")
 
 
 def main(argv: list | None = None) -> int:

@@ -6,6 +6,7 @@ performance experiment on the simulated machine.
 """
 
 from repro.krylov.simulation import Simulation
+from repro.krylov.options import SolverOptions
 from repro.krylov.result import ConvergenceHistory, SolveResult
 from repro.krylov.basis import (
     ChebyshevBasis,
@@ -23,6 +24,7 @@ from repro.krylov.pipelined import pipelined_gmres
 
 __all__ = [
     "Simulation",
+    "SolverOptions",
     "SolveResult",
     "ConvergenceHistory",
     "KrylovBasis",

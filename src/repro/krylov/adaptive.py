@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.config import DEFAULT_RESTART, DEFAULT_TOL
 from repro.exceptions import ConfigurationError
+from repro.krylov.options import SolverOptions
 from repro.krylov.result import ConvergenceHistory, SolveResult
 from repro.krylov.simulation import Simulation
 from repro.krylov.sstep_gmres import sstep_gmres
@@ -33,12 +34,14 @@ def adaptive_sstep_gmres(sim: Simulation, b: np.ndarray,
                          tol: float = DEFAULT_TOL, maxiter: int = 100_000,
                          scheme_factory=None,
                          basis: str = "monomial",
-                         precond: Preconditioner | None = None
+                         precond: Preconditioner | None = None,
+                         options: SolverOptions | None = None
                          ) -> SolveResult:
     """s-step GMRES with runtime step-size adaptation.
 
     Parameters mirror :func:`~repro.krylov.sstep_gmres.sstep_gmres`
-    except that ``scheme_factory`` is a zero-argument callable producing
+    (including ``options``, forwarded verbatim to every attempt) except
+    that ``scheme_factory`` is a zero-argument callable producing
     a fresh scheme per attempt (schemes may bind to a step size — e.g.
     ``lambda: BCGSPIP2Scheme()``); defaults to BCGS-PIP2.
 
@@ -62,7 +65,7 @@ def adaptive_sstep_gmres(sim: Simulation, b: np.ndarray,
         result = sstep_gmres(
             sim, b, x0=x, s=s, restart=restart, tol=tol,
             maxiter=maxiter - total_iters, scheme=scheme_factory(),
-            basis=basis, precond=precond)
+            basis=basis, precond=precond, options=options)
         # merge bookkeeping across attempts
         its, res = result.history.as_arrays()
         for i, r in zip(its, res):

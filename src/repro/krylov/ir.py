@@ -4,7 +4,7 @@ inner solve.
 The classical three-precision IR loop (Carson & Higham), specialized to
 this library's storage policies: the *inner* s-step GMRES runs with its
 Krylov basis stored — and charged — at a low-precision policy
-(``sstep_gmres(precision=...)``, typically fp32: half the panel bytes
+(``SolverOptions(precision=...)``, typically fp32: half the panel bytes
 of every orthogonalization kernel), while the *outer* loop computes the
 true residual, the convergence test and the solution update in fp64:
 
@@ -19,8 +19,8 @@ digits until the fp64 working precision of the outer recurrence is
 reached — fp32 storage with fp64-level final backward error, the
 acceptance claim of ``experiments/precision_stability.py``.
 
-The refinement trigger reuses the PR-3 solver diagnostics: inner solves
-run ``solve_mode="sketched"`` by default, and when a returned
+The refinement trigger reuses the sketched-solve diagnostics: inner
+solves run ``solve_mode="sketched"`` by default, and when a returned
 ``basis_condition_max`` / ``residual_gap_max`` crosses its threshold
 the loop stops trusting deeper inner convergence — it loosens the inner
 tolerance (the unreliable digits were wasted synchronizations) and
@@ -38,6 +38,7 @@ from repro.distla import blas as dblas
 from repro.exceptions import ConfigurationError
 from repro.krylov.gmres import _explicit_residual
 from repro.krylov.result import ConvergenceHistory, SolveResult
+from repro.krylov.options import OPTION_FIELD_NAMES, SolverOptions
 from repro.krylov.simulation import Simulation
 from repro.krylov.sstep_gmres import sstep_gmres
 from repro.ortho.base import BlockOrthoScheme
@@ -59,9 +60,10 @@ def gmres_ir(sim: Simulation, b: np.ndarray,
              s: int = DEFAULT_STEP_SIZE, restart: int = DEFAULT_RESTART,
              scheme: BlockOrthoScheme | None = None,
              precond: Preconditioner | None = None,
-             solve_mode: str = "sketched",
+             solve_mode: str | None = None,
              cond_trigger: float = DEFAULT_COND_TRIGGER,
              gap_trigger: float = DEFAULT_GAP_TRIGGER,
+             options: SolverOptions | None = None,
              **inner_kwargs) -> SolveResult:
     """Solve ``A x = b`` by iterative refinement over low-precision
     s-step GMRES.
@@ -82,11 +84,17 @@ def gmres_ir(sim: Simulation, b: np.ndarray,
         the storage floor.
     max_refinements:
         Outer iteration cap.
-    scheme / s / restart / precond / solve_mode / inner_kwargs:
-        Forwarded to every inner :func:`sstep_gmres` call.  The default
-        ``solve_mode="sketched"`` keeps the basis-condition and
-        residual-gap monitors live; they are this loop's refinement
-        trigger.
+    scheme / s / restart / precond / options / inner_kwargs:
+        Forwarded to every inner :func:`sstep_gmres` call.  ``options``
+        is an optional :class:`~repro.krylov.options.SolverOptions`
+        base for the inner solves; ``precision`` (this function's
+        contract) always overrides its precision field, and absent an
+        explicit ``solve_mode`` the inner solves default to
+        ``"sketched"`` so the basis-condition and residual-gap monitors
+        stay live — they are this loop's refinement trigger.  Loose
+        per-knob ``SolverOptions`` fields in ``inner_kwargs`` are still
+        accepted (folded into the options value without deprecation
+        noise).
     cond_trigger / gap_trigger:
         When an inner solve reports ``basis_condition_max > cond_trigger``
         or ``residual_gap_max > gap_trigger``, subsequent inner solves run
@@ -106,6 +114,20 @@ def gmres_ir(sim: Simulation, b: np.ndarray,
         raise ConfigurationError(
             f"max_refinements must be >= 1, got {max_refinements}")
     policy = resolve_policy(precision)
+    knob_kwargs = {k: inner_kwargs.pop(k) for k in tuple(inner_kwargs)
+                   if k in OPTION_FIELD_NAMES}
+    if options is not None:
+        if knob_kwargs:
+            raise ConfigurationError(
+                "pass inner-solver knobs inside options=SolverOptions(...), "
+                f"not alongside it: {sorted(knob_kwargs)}")
+        inner_options = options.replace(
+            precision=policy,
+            **({} if solve_mode is None else {"solve_mode": solve_mode}))
+    else:
+        inner_options = SolverOptions(
+            solve_mode="sketched" if solve_mode is None else solve_mode,
+            precision=policy, **knob_kwargs)
     if inner_tol is None:
         inner_tol = max(1.0e-4, 32.0 * policy.storage_eps)
     inner_tol = float(inner_tol)
@@ -158,8 +180,8 @@ def gmres_ir(sim: Simulation, b: np.ndarray,
         rhs = r_vec.to_global()[:, 0]
         inner = sstep_gmres(sim, rhs, s=s, restart=restart, tol=inner_tol,
                             maxiter=inner_maxiter, scheme=scheme,
-                            precond=precond, solve_mode=solve_mode,
-                            precision=policy, **inner_kwargs)
+                            precond=precond, options=inner_options,
+                            **inner_kwargs)
         total_iters += inner.iterations
         total_restarts += inner.restarts
         inner_scheme_name = inner.scheme

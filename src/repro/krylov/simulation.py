@@ -1,12 +1,17 @@
 """The :class:`Simulation` bundle: matrix + machine + communicator + backend.
 
 One object carries everything a solver needs to run *and* be accounted on
-the simulated cluster.  Constructing one from a scipy matrix is the
-library's main entry point::
+the (simulated or real-process) cluster.  Constructing one from a scipy
+matrix is the library's main entry point::
 
     sim = Simulation(laplace2d(200), ranks=24, machine=summit())
     result = sstep_gmres(sim, b, scheme=TwoStageScheme(big_step=60))
     print(sim.tracer.report())
+
+The ``backend`` argument selects the communicator implementation (see
+:mod:`repro.parallel.api`): ``"sim"`` (default) models every cost,
+``"mp"`` runs each rank as a real OS process and measures wall clock —
+the identical solver code runs unchanged on either.
 """
 
 from __future__ import annotations
@@ -18,25 +23,28 @@ from repro.distla.multivector import DistMultiVector
 from repro.distla.spmatrix import DistSparseMatrix
 from repro.exceptions import ShapeError
 from repro.ortho.backend import DistBackend
-from repro.parallel.communicator import SimComm
-from repro.parallel.machine import MachineSpec, summit
+from repro.parallel.api import make_comm
+from repro.parallel.machine import MachineSpec
 from repro.parallel.partition import Partition
 from repro.parallel.tracing import Tracer
 
 
 class Simulation:
-    """Distributed problem instance on a modeled machine.
+    """Distributed problem instance on a modeled (or real-process) machine.
 
     Parameters
     ----------
     a:
         Square scipy sparse matrix (the operator).
     ranks:
-        Number of simulated devices (one MPI rank per device).
+        Number of devices (one MPI-style rank per device).
     machine:
         Hardware model; defaults to Summit (6 V100/node).
     tracer:
-        Optional shared tracer (e.g. to accumulate across solves).
+        Optional shared tracer (e.g. to accumulate across solves).  For
+        ``backend="sim"`` it holds modeled seconds; for ``backend="mp"``
+        it holds measured wall clock (the modeled twin lives at
+        ``sim.comm.modeled``).
     partition:
         Optional explicit row partition; defaults to balanced block rows.
     engine:
@@ -45,26 +53,34 @@ class Simulation:
         process default (:func:`repro.config.get_engine`).  Both engines
         charge identical modeled costs, so this only changes host wall
         time, never the simulated numbers.
+    backend:
+        Communicator backend, ``"sim"`` (modeled, default) or ``"mp"``
+        (real worker processes).  With ``"mp"``, :meth:`close` the
+        simulation (or use it as a context manager) to tear the workers
+        down; results are bit-identical to ``"sim"``.
     """
 
     def __init__(self, a: sp.spmatrix, ranks: int = 4,
                  machine: MachineSpec | None = None,
                  tracer: Tracer | None = None,
                  partition: Partition | None = None,
-                 engine: str | None = None) -> None:
-        machine = machine if machine is not None else summit()
+                 engine: str | None = None,
+                 backend: str = "sim") -> None:
         n = a.shape[0]
         if partition is None:
             partition = Partition(n, ranks)
         elif partition.n_global != n or partition.ranks != ranks:
             raise ShapeError("partition inconsistent with matrix/ranks")
-        self.machine = machine
-        self.tracer = tracer if tracer is not None else Tracer()
+        self.comm = make_comm(backend, machine, ranks, tracer=tracer,
+                              engine=engine)
+        self.machine = self.comm.machine
+        self.tracer = self.comm.tracer
         self.engine = engine
-        self.comm = SimComm(machine, ranks, self.tracer, engine=engine)
         self.partition = partition
         self.matrix = DistSparseMatrix(a, partition, self.comm)
         self.backend = DistBackend(self.comm, engine=engine)
+        # setup (partition/halo analysis) is not solver time
+        self.comm.mark()
 
     # ------------------------------------------------------------------
     @property
@@ -74,6 +90,11 @@ class Simulation:
     @property
     def ranks(self) -> int:
         return self.partition.ranks
+
+    @property
+    def comm_backend(self) -> str:
+        """Which communicator backend this simulation runs on."""
+        return self.comm.backend
 
     def vector_from(self, arr: np.ndarray, storage: str = "fp64",
                     accumulate: str = "fp64") -> DistMultiVector:
@@ -98,6 +119,19 @@ class Simulation:
         return np.asarray(self.matrix.to_scipy()
                           @ np.ones(self.n)).ravel()
 
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release communicator resources (worker processes, shared
+        memory).  No-op on the ``"sim"`` backend; idempotent."""
+        self.comm.close()
+
+    def __enter__(self) -> "Simulation":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     def __repr__(self) -> str:
         return (f"Simulation(n={self.n}, ranks={self.ranks}, "
-                f"machine={self.machine.name!r})")
+                f"machine={self.machine.name!r}, "
+                f"backend={self.comm.backend!r})")

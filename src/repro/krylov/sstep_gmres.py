@@ -26,6 +26,8 @@ reuses for free).
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 import math
@@ -47,12 +49,19 @@ from repro.krylov.hessenberg import (
     sketched_least_squares,
 )
 from repro.krylov.mpk import MatrixPowersKernel, PreconditionedOperator
+from repro.krylov.options import (  # noqa: F401  (re-exported for back-compat)
+    DEFAULT_RESKETCH_THRESHOLD,
+    MPK_SOLVER_MODES,
+    OPTION_FIELD_NAMES,
+    SOLVE_MODES,
+    SolverOptions,
+)
 from repro.krylov.result import ConvergenceHistory, SolveResult
 from repro.krylov.simulation import Simulation
 from repro.ortho.base import BlockOrthoScheme, OrthoObserver
 from repro.ortho.bcgs_pip import BCGSPIP2Scheme
 from repro.precision.kernels import MixedPrecisionTwoStageScheme
-from repro.precision.policy import PrecisionPolicy, resolve_policy
+from repro.precision.policy import resolve_policy
 from repro.precond.base import Preconditioner
 from repro.sketch import (
     canonical_family,
@@ -62,27 +71,32 @@ from repro.sketch import (
     sketch_rows,
 )
 
-#: Valid ``solve_mode`` values for :func:`sstep_gmres`.  ``"adaptive"``
-#: starts sketched (so the basis-condition / residual-gap monitors are
-#: live) and switches to the cheaper classical coordinate solve — and
-#: back — as the diagnostics cross their thresholds.
-SOLVE_MODES = ("classical", "sketched", "adaptive")
+def _resolve_options(options: SolverOptions | None,
+                     legacy: dict) -> SolverOptions:
+    """Fold the deprecated per-knob kwargs into a :class:`SolverOptions`.
 
-#: Valid ``mpk_mode`` values: the two kernel modes plus ``"auto"``
-#: (communication-avoiding whenever the preconditioner composes,
-#: standard otherwise — the fallback the paper's Trilinos setting
-#: hard-codes).
-MPK_SOLVER_MODES = ("standard", "ca", "auto")
-
-#: Default leave-one-out distortion above which a sketched solve redraws
-#: its embedding at the next cycle.  Calibration note: the split test
-#: evaluates *half*-sized embeddings, so at solver sketch sizes (~4x
-#: oversampling, 2x per half) healthy estimates land around 1-3, not
-#: near zero — the default only fires when the held-out spectrum is far
-#: outside that band (an unlucky draw stretching some direction several
-#: fold).  Lower it for tighter certification, or pass ``None`` to
-#: disable the automatic redraw.
-DEFAULT_RESKETCH_THRESHOLD = 10.0
+    The three outcomes: clean ``options`` (or none → defaults) passes
+    through; legacy kwargs alone build an equivalent options value and
+    warn; mixing both is a :class:`ConfigurationError` because silently
+    preferring either side would hide a bug at the call site.
+    """
+    if legacy:
+        unknown = sorted(set(legacy) - OPTION_FIELD_NAMES)
+        if unknown:
+            raise TypeError(
+                f"sstep_gmres() got unexpected keyword argument(s) "
+                f"{unknown}")
+        if options is not None:
+            raise ConfigurationError(
+                "pass options=SolverOptions(...) OR the deprecated "
+                f"per-knob keyword arguments {sorted(legacy)}, not both")
+        warnings.warn(
+            f"passing {sorted(legacy)} directly to sstep_gmres() is "
+            "deprecated; bundle them as "
+            "options=SolverOptions(...) instead",
+            DeprecationWarning, stacklevel=3)
+        return SolverOptions(**legacy)
+    return SolverOptions() if options is None else options
 
 
 class _SolveSketch:
@@ -185,15 +199,8 @@ def sstep_gmres(sim: Simulation, b: np.ndarray,
                 basis: str | KrylovBasis = "monomial",
                 precond: Preconditioner | None = None,
                 observer: OrthoObserver | None = None,
-                solve_mode: str = "classical",
-                mpk_mode: str = "standard",
-                sketch_operator: str = "sparse",
-                sketch_oversample: int | None = None,
-                sketch_seed: int | None = None,
-                resketch_threshold: float | None = DEFAULT_RESKETCH_THRESHOLD,
-                precision: "PrecisionPolicy | str | None" = None,
-                adaptive_cond_threshold: float = 1.0e6,
-                adaptive_gap_threshold: float | None = None) -> SolveResult:
+                options: SolverOptions | None = None,
+                **legacy) -> SolveResult:
     """Solve ``A x = b`` with s-step GMRES on the simulated machine.
 
     Parameters
@@ -213,72 +220,33 @@ def sstep_gmres(sim: Simulation, b: np.ndarray,
         Optional right preconditioner (set up automatically).
     observer:
         Forwarded to the scheme for numerics instrumentation.
-    solve_mode:
-        ``"classical"`` minimizes the coordinate least-squares problem
-        ``||gamma R e1 - H y||`` — correct while the basis is
-        orthonormal.  ``"sketched"`` maintains a sketched basis ``S V``
-        alongside the full one and minimizes the *embedded* residual
-        ``||S V (rhs - H y)||`` instead (randomized GMRES à la RGS):
-        valid for any numerically full-rank basis, e.g. the
-        sketch-orthonormal one produced by
-        :class:`~repro.ortho.randomized.SketchedTwoStageScheme` with
-        ``fused=True``.  The sketched path also emits residual-gap /
-        basis-condition diagnostics into ``SolveResult.diagnostics``.
-    mpk_mode:
-        How the matrix powers kernel communicates: ``"standard"`` (one
-        halo exchange per basis column — the paper's and Trilinos'
-        setting), ``"ca"`` (ghost-zone communication-avoiding kernel:
-        ONE aggregated deep-halo exchange per s-panel, redundant local
-        work on a shrinking ghost region; raises
-        :class:`ConfigurationError` when the preconditioner has no
-        finite ghost closure), or ``"auto"`` (CA when the
-        preconditioner composes, standard fallback otherwise).  Both
-        kernels generate bit-identical bases; only the communication
-        profile — and hence the modeled time — differs.
-    sketch_operator / sketch_oversample / sketch_seed:
-        Sketch family, embedding-size override and base seed for the
-        sketched solve path (ignored in classical mode).  When the
-        scheme exposes :attr:`BlockOrthoScheme.basis_sketch`, its sketch
-        is reused and these knobs are irrelevant.
-    resketch_threshold:
-        Leave-one-out distortion above which a sketched/adaptive solve
-        *redraws* its embedding at the next restart cycle (operator
-        re-derived from ``(seed, cycle, resketch_count)``), instead of
-        only reporting the estimate; ``None`` disables the automatic
-        re-sketch.  ``diagnostics["resketch_count"]`` records how often
-        it fired.
-    precision:
-        A :class:`~repro.precision.policy.PrecisionPolicy` (or registered
-        name, e.g. ``"fp32"``) for the Krylov basis: the basis is stored
-        — and its panel traffic charged — at ``policy.storage``, local
-        reductions accumulate per ``policy.accumulate``, and when no
-        ``scheme`` is given a ``policy.gram != "fp64"`` selects the
-        mixed-precision two-stage scheme.  The right-hand side, iterate
-        and residual always stay fp64; pair low-precision storage with
-        :func:`repro.krylov.ir.gmres_ir` to recover fp64-level backward
-        error.
-    adaptive_cond_threshold / adaptive_gap_threshold:
-        Switching thresholds for ``solve_mode="adaptive"``: the solver
-        drops from sketched to classical once a cycle's basis-condition
-        estimate stays below ``adaptive_cond_threshold`` AND its
-        residual gap below ``adaptive_gap_threshold`` (default
-        ``sqrt(eps)``), and escalates back to sketched as soon as the
-        gap crosses the threshold.  Requires a scheme that actually
-        orthogonalizes (not the fused RGS-contract schemes, whose bases
-        are only sketch-orthonormal and never valid for the classical
-        coordinate solve).
+    options:
+        A :class:`~repro.krylov.options.SolverOptions` bundling every
+        behaviour knob — ``solve_mode``, ``mpk_mode``, ``precision``,
+        the sketch parameters and the adaptive thresholds; see its
+        docstring for the knob-by-knob reference.  Defaults to
+        ``SolverOptions()`` (classical coordinate solve, standard MPK,
+        fp64 storage).
+    **legacy:
+        The pre-``SolverOptions`` per-knob keyword arguments
+        (``solve_mode=...``, ``mpk_mode=...``, ...).  Still honoured —
+        folded into an equivalent options value — but they emit
+        ``DeprecationWarning``; combining them with ``options`` raises
+        :class:`ConfigurationError`, and anything that is not a
+        ``SolverOptions`` field raises :class:`TypeError`.
     """
+    opts = _resolve_options(options, legacy)
+    solve_mode = opts.solve_mode
+    mpk_mode = opts.mpk_mode
+    sketch_operator = opts.sketch_operator
+    sketch_oversample = opts.sketch_oversample
+    sketch_seed = opts.sketch_seed
+    resketch_threshold = opts.resketch_threshold
+    adaptive_cond_threshold = opts.adaptive_cond_threshold
+    adaptive_gap_threshold = opts.adaptive_gap_threshold
     if restart < s:
         raise ConfigurationError(f"restart {restart} must be >= step {s}")
-    if solve_mode not in SOLVE_MODES:
-        raise ConfigurationError(
-            f"unknown solve_mode {solve_mode!r}; expected one of "
-            f"{SOLVE_MODES}")
-    if mpk_mode not in MPK_SOLVER_MODES:
-        raise ConfigurationError(
-            f"unknown mpk_mode {mpk_mode!r}; expected one of "
-            f"{MPK_SOLVER_MODES}")
-    policy = resolve_policy(precision)
+    policy = resolve_policy(opts.precision)
     if scheme is None:
         scheme = (MixedPrecisionTwoStageScheme(big_step=restart,
                                                gram=policy.gram,

@@ -415,7 +415,7 @@ class DistBackend(OrthoBackend):
         per_level = (comm.cost.point_to_point(8.0 * k * k, same_node=False)
                      + comm.cost.host_dense(8.0 * k ** 3 / 3.0))
         if depth:
-            comm.tracer.add("allreduce", depth * per_level, count=1)
+            comm.charge_uniform("allreduce", depth * per_level, count=1)
         _, r_final, signs = _sign_fix_qr(None, np.triu(r_final))
         quantized = v.storage != "fp64"
         if batched:
@@ -440,7 +440,7 @@ class DistBackend(OrthoBackend):
 
     # -- accounting ------------------------------------------------------
     def host_flops(self, flops: float) -> None:
-        self.comm.tracer.add("host", self.comm.cost.host_dense(flops))
+        self.comm.charge_uniform("host", self.comm.cost.host_dense(flops))
 
     def charge_small(self, kernel: str, seconds: float) -> None:
-        self.comm.tracer.add(kernel, seconds)
+        self.comm.charge_uniform(kernel, seconds)

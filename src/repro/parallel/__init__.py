@@ -10,13 +10,23 @@ a :class:`CostModel`, accumulated by a :class:`Tracer`.
 See DESIGN.md section 3 for why this substitution preserves the paper's
 relevant behaviour (speedups are count-driven: synchronizations per s
 steps, kernel launches, and bytes moved as a function of block width).
+
+The communication surface is a formal protocol (:class:`Communicator`,
+:mod:`repro.parallel.api`) with two backends: :class:`SimComm`, the
+modeled *planner* described above, and :class:`MpComm`
+(:mod:`repro.parallel.mp_backend`), a real ``multiprocessing`` +
+shared-memory *executor* whose ranks are OS processes and whose tracer
+records measured wall clock — bit-identical results, measured twin for
+every modeled cost.  Construct either via :func:`make_comm`.
 """
 
 from repro.parallel.machine import MachineSpec, summit, vortex, generic_cpu
 from repro.parallel.costmodel import CostModel
 from repro.parallel.tracing import Tracer, phase_names
 from repro.parallel.partition import Partition
+from repro.parallel.api import BACKENDS, Communicator, make_comm
 from repro.parallel.communicator import SimComm
+from repro.parallel.mp_backend import MpComm
 
 __all__ = [
     "MachineSpec",
@@ -27,5 +37,9 @@ __all__ = [
     "Tracer",
     "phase_names",
     "Partition",
+    "BACKENDS",
+    "Communicator",
+    "make_comm",
     "SimComm",
+    "MpComm",
 ]

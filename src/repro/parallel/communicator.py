@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro import config
+from repro.dd.core import dd_add
 from repro.exceptions import CommunicatorError
 from repro.parallel.costmodel import CostModel
 from repro.parallel.machine import MachineSpec
@@ -26,6 +27,11 @@ from repro.parallel.tracing import Tracer
 
 class SimComm:
     """A communicator binding ``size`` simulated ranks to one machine model.
+
+    This is the ``"sim"`` backend of the
+    :class:`~repro.parallel.api.Communicator` protocol — the *planner*:
+    reductions execute driver-side (in MPI-faithful tree order) and every
+    charge is **modeled** seconds from the cost model, never wall clock.
 
     Parameters
     ----------
@@ -41,6 +47,9 @@ class SimComm:
         defers to :func:`repro.config.get_engine`.
     """
 
+    #: Protocol backend name (:data:`repro.parallel.api.BACKENDS`).
+    backend = "sim"
+
     def __init__(self, machine: MachineSpec, size: int,
                  tracer: Tracer | None = None,
                  engine: str | None = None) -> None:
@@ -51,6 +60,15 @@ class SimComm:
         self.tracer = tracer if tracer is not None else Tracer()
         self.cost = CostModel(machine)
         self.engine = None if engine is None else config.validate_engine(engine)
+
+    def _charge(self, kernel: str, seconds: float, count: int = 1) -> None:
+        """Record one modeled charge.
+
+        Every cost this class computes funnels through here so subclasses
+        can redirect the *modeled* stream (the mp backend sends it to its
+        modeled twin while ``self.tracer`` accumulates wall clock).
+        """
+        self.tracer.add(kernel, seconds, count=count)
 
     # ------------------------------------------------------------------
     def _check_contributions(self, shards: list[np.ndarray]) -> None:
@@ -118,14 +136,14 @@ class SimComm:
         self._check_contributions(shards)
         result = self._tree_sum(shards)
         payload = self._payload_bytes(result, shards[0])
-        self.tracer.add("allreduce", self.cost.allreduce(payload, self.size))
+        self._charge("allreduce", self.cost.allreduce(payload, self.size))
         return result
 
     def allreduce_scalar(self, values: list[float]) -> float:
         """Scalar allreduce (same cost floor as a tiny message)."""
         self._check_contributions([np.asarray(v) for v in values])
         result = self._tree_sum([np.asarray(float(v)) for v in values])
-        self.tracer.add("allreduce", self.cost.allreduce(8.0, self.size))
+        self._charge("allreduce", self.cost.allreduce(8.0, self.size))
         return float(result)
 
     def fused_allreduce_sum(self, shard_groups: list[list[np.ndarray]]
@@ -147,7 +165,7 @@ class SimComm:
             red = self._tree_sum(shards)
             payload += self._payload_bytes(red, shards[0])
             results.append(red)
-        self.tracer.add("allreduce", self.cost.allreduce(payload, self.size))
+        self._charge("allreduce", self.cost.allreduce(payload, self.size))
         return results
 
     # -- stacked variants (batched engine) ------------------------------
@@ -166,7 +184,7 @@ class SimComm:
         self._check_stack(stack)
         result = self._tree_sum_stacked(stack)
         payload = self._payload_bytes(result, stack)
-        self.tracer.add("allreduce", self.cost.allreduce(payload, self.size))
+        self._charge("allreduce", self.cost.allreduce(payload, self.size))
         return result
 
     def fused_allreduce_sum_stacked(self, stacks: list[np.ndarray]
@@ -181,7 +199,7 @@ class SimComm:
             red = self._tree_sum_stacked(stack)
             payload += self._payload_bytes(red, stack)
             results.append(red)
-        self.tracer.add("allreduce", self.cost.allreduce(payload, self.size))
+        self._charge("allreduce", self.cost.allreduce(payload, self.size))
         return results
 
     # ------------------------------------------------------------------
@@ -191,11 +209,11 @@ class SimComm:
         if len(per_rank_seconds) != self.size:
             raise CommunicatorError(
                 f"expected {self.size} per-rank costs, got {len(per_rank_seconds)}")
-        self.tracer.add(kernel, max(per_rank_seconds), count=count)
+        self._charge(kernel, max(per_rank_seconds), count=count)
 
     def charge_uniform(self, kernel: str, seconds: float, count: int = 1) -> None:
         """Charge a kernel whose cost is identical on every rank."""
-        self.tracer.add(kernel, seconds, count=count)
+        self._charge(kernel, seconds, count=count)
 
     def charge_halo(self, recv_bytes_by_rank: list[dict[int, float]]) -> None:
         """Charge a neighbourhood exchange: elapsed = slowest rank."""
@@ -206,8 +224,64 @@ class SimComm:
             self.cost.halo_exchange(recv, rank, self.size)
             for rank, recv in enumerate(recv_bytes_by_rank)
         )
-        self.tracer.add("halo", worst)
+        self._charge("halo", worst)
 
     # ------------------------------------------------------------------
+    def allreduce_dd(self, his: list[np.ndarray], los: list[np.ndarray]
+                     ) -> tuple[np.ndarray, np.ndarray]:
+        """Fused double-double allreduce of per-rank ``(hi, lo)`` pairs.
+
+        The pairs travel in ONE collective of twice the payload and are
+        combined with :func:`repro.dd.core.dd_add` in the same recursive-
+        doubling pair order as :meth:`_tree_sum` — the communication side
+        of the mixed-precision CholQR's dd Gram accumulation.
+        """
+        self._check_contributions(his)
+        self._check_contributions(los)
+        items = list(zip(his, los))
+        while len(items) > 1:
+            half = len(items) // 2
+            merged = [dd_add(items[i], items[i + half]) for i in range(half)]
+            if len(items) % 2:
+                merged.append(items[-1])
+            items = merged
+        hi, lo = items[0]
+        payload = float(np.asarray(hi).nbytes + np.asarray(lo).nbytes)
+        self._charge("allreduce", self.cost.allreduce(payload, self.size))
+        return hi, lo
+
+    # ------------------------------------------------------------------
+    def alloc_stack(self, ranks: int, rows: int, k: int,
+                    dtype) -> np.ndarray:
+        """Allocate a zeroed ``(ranks, rows, k)`` shard stack.
+
+        The backend owns vector storage so executors can place shards
+        where their ranks can reach them (the mp backend hands back
+        shared-memory-backed arrays); the simulator just uses the heap.
+        """
+        return np.zeros((int(ranks), int(rows), int(k)), dtype=dtype)
+
+    def exec_spmv(self, matrix, x, out) -> bool:
+        """Offer the backend a distributed SpMV to execute itself.
+
+        Returns False: the simulator has no ranks to run it on, so
+        :meth:`DistSparseMatrix.matvec` computes driver-side and charges
+        the modeled kernels as always.
+        """
+        return False
+
+    # ------------------------------------------------------------------
+    def mark(self) -> None:
+        """Reset wall-clock attribution (no-op: nothing is measured here)."""
+
+    def close(self) -> None:
+        """Release backend resources (no-op for the simulator)."""
+
+    def __enter__(self) -> "SimComm":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     def __repr__(self) -> str:
         return f"SimComm(machine={self.machine.name!r}, size={self.size})"

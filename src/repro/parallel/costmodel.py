@@ -150,6 +150,21 @@ class CostModel:
         on every rank."""
         return flops / self.machine.host_flops
 
+    def ghost_plan_analysis(self, level_rows: float, level_nnz: float) -> float:
+        """Symbolic cost of building one rank's s-level ghost-zone closure.
+
+        Host-side graph traversal over the transitively reachable rows:
+        each closure level walks its rows' CSR adjacency (a few ops per
+        nonzero to follow column indices, plus per-row set/sort
+        bookkeeping).  ``level_rows`` / ``level_nnz`` are the totals over
+        every level of the plan (:class:`repro.distla.halo.GhostPlan`
+        records them per rank).  Charged once per ``(depth, expand)`` key
+        when the plan is first analyzed — deep-halo planning is no longer
+        free, so one-shot short solves see the setup the CA MPK really
+        pays before its first panel.
+        """
+        return self.host_dense(8.0 * level_nnz + 32.0 * level_rows)
+
     # ------------------------------------------------------------------
     # communication
     # ------------------------------------------------------------------

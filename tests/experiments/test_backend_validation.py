@@ -1,0 +1,84 @@
+"""Smoke-size assertions of the predicted-vs-measured validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.artifacts import SCHEMA, load_artifact
+from repro.experiments import backend_validation
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    return backend_validation.run(nx=16, s=3, restart=9, repeats=1)
+
+
+class TestTable:
+    def test_two_rows_per_scheme(self, outcome):
+        table, _ = outcome
+        labels = [(table.cell(r, 0), table.cell(r, 1))
+                  for r in range(len(table.rows))]
+        assert labels == [(name, timeline)
+                          for name in backend_validation.SCHEMES
+                          for timeline in ("modeled", "measured")]
+
+    def test_phase_shares_rendered(self, outcome):
+        table, _ = outcome
+        for r in range(len(table.rows)):
+            for c in range(2, 6):
+                assert table.cell(r, c).endswith("%")
+
+
+class TestArtifact:
+    def test_schema_and_records(self, outcome):
+        _, art = outcome
+        assert art.schema == SCHEMA
+        assert art.name == "measured"
+        assert art.names() == [f"backend_validation[{s}]"
+                               for s in backend_validation.SCHEMES]
+
+    def test_extras_carry_both_timelines(self, outcome):
+        _, art = outcome
+        for rec in art.benchmarks:
+            assert rec.extra["bit_identical"] is True
+            assert rec.extra["converged"]
+            for timeline in ("modeled", "measured"):
+                bd = rec.extra[timeline]
+                assert set(backend_validation.PHASE_BUCKETS) < set(bd)
+                assert bd["total"] > 0.0
+            # phases cover (nearly) the whole timeline on both sides
+            modeled = rec.extra["modeled"]
+            covered = sum(modeled[k]
+                          for k in backend_validation.PHASE_BUCKETS)
+            assert covered <= modeled["total"] * 1.0000001
+            assert covered >= modeled["total"] * 0.5
+
+    def test_round_trips_through_loader(self, outcome, tmp_path):
+        _, art = outcome
+        path = art.write(tmp_path / "BENCH_measured.json")
+        loaded = load_artifact(path)
+        assert loaded.names() == art.names()
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == SCHEMA
+
+
+def test_bit_identity_assertion_is_armed(monkeypatch):
+    """run_scheme must actually compare the backends: poison the sim
+    result and expect the assertion to fire."""
+    real = backend_validation.sstep_gmres
+    calls = {"n": 0}
+
+    def poisoned(sim, b, **kwargs):
+        res = real(sim, b, **kwargs)
+        calls["n"] += 1
+        if calls["n"] == 1:  # the backend="sim" reference run
+            res.x = res.x + 1.0e-3
+        return res
+
+    monkeypatch.setattr(backend_validation, "sstep_gmres", poisoned)
+    with pytest.raises(AssertionError, match="bit-identical|diverged"):
+        backend_validation.run_scheme(
+            "two-stage", nx=12, ranks=4, s=3, restart=9,
+            tol=1e-8, maxiter=500, repeats=1)

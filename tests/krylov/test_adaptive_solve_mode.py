@@ -7,6 +7,7 @@ import pytest
 import scipy.sparse as sp
 
 from repro.exceptions import ConfigurationError
+from repro.krylov.options import SolverOptions
 from repro.krylov.simulation import Simulation
 from repro.krylov.sstep_gmres import SOLVE_MODES, sstep_gmres
 from repro.matrices.stencil import laplace2d
@@ -22,7 +23,8 @@ class TestAdaptiveMode:
     def test_adaptive_is_a_registered_mode(self):
         assert SOLVE_MODES == ("classical", "sketched", "adaptive")
         with pytest.raises(ConfigurationError):
-            sstep_gmres(_laplace_sim(), np.ones(400), solve_mode="auto")
+            sstep_gmres(_laplace_sim(), np.ones(400),
+                        options=SolverOptions(solve_mode="auto"))
 
     def test_well_conditioned_switches_down_to_classical(self):
         """Healthy diagnostics => the solver drops the sketch collectives
@@ -30,7 +32,7 @@ class TestAdaptiveMode:
         sim = _laplace_sim()
         b = sim.ones_solution_rhs()
         res = sstep_gmres(sim, b, s=5, restart=30, tol=1e-8, maxiter=4000,
-                          solve_mode="adaptive")
+                          options=SolverOptions(solve_mode="adaptive"))
         assert res.converged
         d = res.diagnostics
         assert d["solve_mode"] == "adaptive"
@@ -48,7 +50,7 @@ class TestAdaptiveMode:
                 Simulation(a, ranks=4, machine=generic_cpu()), b, s=14,
                 restart=28, tol=1e-8, maxiter=1500,
                 scheme=TwoStageScheme(big_step=28, breakdown="shift"),
-                solve_mode="adaptive")
+                options=SolverOptions(solve_mode="adaptive"))
         assert res.converged
         assert res.diagnostics["final_mode"] == "sketched"
         assert res.diagnostics["mode_switches"] == 0
@@ -60,7 +62,8 @@ class TestAdaptiveMode:
         sim = _laplace_sim()
         b = sim.ones_solution_rhs()
         res = sstep_gmres(sim, b, s=5, restart=30, tol=1e-8, maxiter=4000,
-                          solve_mode="adaptive", adaptive_cond_threshold=0.0)
+                          options=SolverOptions(solve_mode="adaptive",
+                                                adaptive_cond_threshold=0.0))
         assert res.converged
         assert res.diagnostics["final_mode"] == "sketched"
         assert res.diagnostics["mode_switches"] == 0
@@ -69,7 +72,8 @@ class TestAdaptiveMode:
         sim = _laplace_sim()
         b = sim.ones_solution_rhs()
         adaptive = sstep_gmres(sim, b, s=5, restart=30, tol=1e-8,
-                               maxiter=4000, solve_mode="adaptive")
+                               maxiter=4000,
+                               options=SolverOptions(solve_mode="adaptive"))
         classical = sstep_gmres(_laplace_sim(), b, s=5, restart=30, tol=1e-8,
                                 maxiter=4000)
         np.testing.assert_allclose(adaptive.x, classical.x, atol=1e-6)
@@ -80,7 +84,7 @@ class TestEmbeddingQualityDiagnostic:
         sim = _laplace_sim()
         b = sim.ones_solution_rhs()
         res = sstep_gmres(sim, b, s=5, restart=30, tol=1e-8, maxiter=4000,
-                          solve_mode="sketched")
+                          options=SolverOptions(solve_mode="sketched"))
         d = res.diagnostics
         assert "embedding_distortion_max" in d
         assert np.isfinite(d["embedding_distortion_max"])

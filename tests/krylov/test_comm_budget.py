@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.krylov.options import SolverOptions
 from repro.krylov.simulation import Simulation
 from repro.krylov.sstep_gmres import _panel_bounds, sstep_gmres
 from repro.matrices.stencil import laplace2d
@@ -36,13 +37,13 @@ PANELS = len(_panel_bounds(S, RESTART + 1))  # 6 panels per cycle
 ENGINES = ["loop", "batched"]
 
 
-def run_one_cycle(scheme_factory, engine, mpk_mode="standard", **kw):
+def run_one_cycle(scheme_factory, engine, **option_kw):
     """Exactly one restart cycle: tol unreachable, maxiter = restart."""
     sim = Simulation(laplace2d(16), ranks=4, machine=generic_cpu(),
                      engine=engine)
     res = sstep_gmres(sim, sim.ones_solution_rhs(), s=S, restart=RESTART,
-                      tol=1e-30, maxiter=RESTART,
-                      scheme=scheme_factory(), mpk_mode=mpk_mode, **kw)
+                      tol=1e-30, maxiter=RESTART, scheme=scheme_factory(),
+                      options=SolverOptions(**option_kw))
     assert res.restarts == 1
     tracer = sim.tracer
     halo = sum(c for (_, k), c in tracer.counts.items() if k == "halo")

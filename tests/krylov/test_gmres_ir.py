@@ -7,6 +7,7 @@ import pytest
 
 from repro.exceptions import ConfigurationError
 from repro.krylov.ir import gmres_ir
+from repro.krylov.options import SolverOptions
 from repro.krylov.simulation import Simulation
 from repro.krylov.sstep_gmres import sstep_gmres
 from repro.matrices.stencil import laplace2d
@@ -74,7 +75,8 @@ class TestGMRESIRBf16:
         sim = _sim()
         b = sim.ones_solution_rhs()
         direct = sstep_gmres(_sim(), b, s=5, restart=30, tol=1e-8,
-                             maxiter=1500, precision="bf16")
+                             maxiter=1500,
+                             options=SolverOptions(precision="bf16"))
         assert not direct.converged
         res = gmres_ir(sim, b, precision="bf16", tol=1e-8, s=5, restart=30,
                        max_refinements=30)

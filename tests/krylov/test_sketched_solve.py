@@ -11,6 +11,7 @@ from repro.krylov.hessenberg import (
     least_squares_residual,
     sketched_least_squares,
 )
+from repro.krylov.options import SolverOptions
 from repro.krylov.simulation import Simulation
 from repro.krylov.sstep_gmres import sstep_gmres
 from repro.matrices.stencil import laplace2d
@@ -93,7 +94,8 @@ class TestSolveModeSwitch:
     def test_unknown_mode_rejected(self):
         sim = make_sim(laplace2d(8))
         with pytest.raises(ConfigurationError):
-            sstep_gmres(sim, np.ones(sim.n), solve_mode="randomised")
+            sstep_gmres(sim, np.ones(sim.n),
+                        options=SolverOptions(solve_mode="randomised"))
 
     def test_classical_mode_has_no_diagnostics(self):
         sim = make_sim(laplace2d(8))
@@ -108,7 +110,7 @@ class TestSolveModeSwitch:
         b = sim.ones_solution_rhs()
         res = sstep_gmres(sim, b, s=5, restart=20, tol=1e-8, maxiter=3000,
                           scheme=TwoStageScheme(big_step=20),
-                          solve_mode="sketched")
+                          options=SolverOptions(solve_mode="sketched"))
         assert res.converged
         np.testing.assert_allclose(res.x, 1.0, atol=1e-5)
         d = res.diagnostics
@@ -134,7 +136,7 @@ class TestSolveModeSwitch:
             # cycle runs in both modes, so collectives are comparable.
             res = sstep_gmres(sim, sim.ones_solution_rhs(), s=5, restart=20,
                               tol=1e-30, maxiter=20, scheme=make_scheme(),
-                              solve_mode=mode)
+                              options=SolverOptions(solve_mode=mode))
             results[mode] = res
         assert (results["sketched"].sync_count
                 == results["classical"].sync_count)
@@ -149,7 +151,7 @@ class TestSolveModeSwitch:
             res = sstep_gmres(sim, sim.ones_solution_rhs(), s=5, restart=20,
                               tol=1e-30, maxiter=20,
                               scheme=TwoStageScheme(big_step=10),
-                              solve_mode=mode)
+                              options=SolverOptions(solve_mode=mode))
             results[mode] = res
         checkpoints = len(results["sketched"].history) - 1  # minus iter 0
         assert (results["sketched"].sync_count
@@ -162,7 +164,7 @@ class TestSolveModeSwitch:
         res = sstep_gmres(sim, b, s=5, restart=20, tol=1e-8, maxiter=3000,
                           scheme=SketchedTwoStageScheme(big_step=20,
                                                         fused=True),
-                          solve_mode="sketched")
+                          options=SolverOptions(solve_mode="sketched"))
         assert res.converged
         a = sim.matrix.to_scipy()
         true_rel = np.linalg.norm(b - a @ res.x) / np.linalg.norm(b)
@@ -178,7 +180,7 @@ class TestSolveModeSwitch:
                               tol=1e-8, maxiter=2000,
                               scheme=SketchedTwoStageScheme(big_step=20,
                                                             fused=True),
-                              solve_mode="sketched")
+                              options=SolverOptions(solve_mode="sketched"))
             xs[engine] = (res.x, res.iterations, res.relative_residual)
         np.testing.assert_array_equal(xs["loop"][0], xs["batched"][0])
         assert xs["loop"][1:] == xs["batched"][1:]
@@ -192,7 +194,7 @@ class TestEdgeCases:
     def test_zero_rhs(self, engine, solve_mode):
         sim = make_sim(laplace2d(8), engine=engine)
         res = sstep_gmres(sim, np.zeros(sim.n), s=3, restart=9,
-                          solve_mode=solve_mode)
+                          options=SolverOptions(solve_mode=solve_mode))
         assert res.converged and res.iterations == 0
 
     @pytest.mark.parametrize("engine", ENGINES)
@@ -204,7 +206,7 @@ class TestEdgeCases:
         sim = make_sim(laplace2d(10), engine=engine)
         b = sim.ones_solution_rhs()
         res = sstep_gmres(sim, b, s=1, restart=12, tol=1e-8, maxiter=3000,
-                          solve_mode=solve_mode)
+                          options=SolverOptions(solve_mode=solve_mode))
         assert res.converged
         np.testing.assert_allclose(res.x, 1.0, atol=1e-5)
 
@@ -221,7 +223,7 @@ class TestEdgeCases:
         sim = make_sim(a, engine=engine)
         b = np.asarray(a @ np.ones(n)).ravel()
         res = sstep_gmres(sim, b, s=2, restart=8, tol=1e-10, maxiter=200,
-                          solve_mode=solve_mode)
+                          options=SolverOptions(solve_mode=solve_mode))
         assert res.converged
         np.testing.assert_allclose(res.x, 1.0, atol=1e-8)
         # the space closed at dimension 4: no cycle ran to full restart
@@ -235,7 +237,7 @@ class TestEdgeCases:
         sim = make_sim(a)
         b = np.ones(32) * 2.0
         res = sstep_gmres(sim, b, s=3, restart=9, tol=1e-20, maxiter=100,
-                          solve_mode="sketched")
+                          options=SolverOptions(solve_mode="sketched"))
         assert not res.converged
         assert res.stalled
 
@@ -248,7 +250,7 @@ class TestAutomaticResketch:
         res = sstep_gmres(sim, sim.ones_solution_rhs(), s=5, restart=20,
                           tol=1e-8, maxiter=3000,
                           scheme=TwoStageScheme(big_step=20),
-                          solve_mode="sketched")
+                          options=SolverOptions(solve_mode="sketched"))
         assert res.converged
         assert res.diagnostics["resketch_count"] == 0
 
@@ -260,7 +262,8 @@ class TestAutomaticResketch:
         res = sstep_gmres(sim, sim.ones_solution_rhs(), s=5, restart=10,
                           tol=1e-8, maxiter=3000,
                           scheme=TwoStageScheme(big_step=10),
-                          solve_mode="sketched", resketch_threshold=-1.0)
+                          options=SolverOptions(solve_mode="sketched",
+                                                resketch_threshold=-1.0))
         assert res.converged
         assert res.diagnostics["resketch_count"] >= 1
         # at most one redraw per restart cycle, however many checkpoints
@@ -275,7 +278,8 @@ class TestAutomaticResketch:
                           tol=1e-8, maxiter=3000,
                           scheme=SketchedTwoStageScheme(big_step=10,
                                                         fused=True),
-                          solve_mode="sketched", resketch_threshold=-1.0)
+                          options=SolverOptions(solve_mode="sketched",
+                                                resketch_threshold=-1.0))
         assert res.converged
         assert res.diagnostics["resketch_count"] >= 1
 
@@ -287,8 +291,9 @@ class TestAutomaticResketch:
             return sstep_gmres(sim, sim.ones_solution_rhs(), s=4,
                                restart=12, tol=1e-8, maxiter=2000,
                                scheme=TwoStageScheme(big_step=12),
-                               solve_mode="sketched",
-                               resketch_threshold=threshold)
+                               options=SolverOptions(
+                                   solve_mode="sketched",
+                                   resketch_threshold=threshold))
         from repro.krylov.sstep_gmres import DEFAULT_RESKETCH_THRESHOLD
         a = solve(None)
         b = solve(DEFAULT_RESKETCH_THRESHOLD)

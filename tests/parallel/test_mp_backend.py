@@ -1,0 +1,191 @@
+"""MpComm: real-process reductions bit-identical to SimComm, the
+modeled twin, shared-memory stacks, and lifecycle hygiene."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dd.linalg import matmul_dd
+from repro.exceptions import CommunicatorError
+from repro.parallel.communicator import SimComm
+from repro.parallel.machine import generic_cpu
+from repro.parallel.mp_backend import MpComm, _reduce_schedule
+from repro.parallel.tracing import Tracer
+
+
+@pytest.fixture(scope="module")
+def mp4():
+    comm = MpComm(generic_cpu(), 4, Tracer())
+    yield comm
+    comm.close()
+
+
+def _pair(size):
+    """A fresh (SimComm, MpComm) pair of the same size."""
+    return (SimComm(generic_cpu(), size, Tracer()),
+            MpComm(generic_cpu(), size, Tracer()))
+
+
+class TestReduceSchedule:
+    @pytest.mark.parametrize("size", [1, 2, 3, 4, 5, 7, 8])
+    def test_mirrors_tree_sum(self, size):
+        """Folding the schedule's (a, b) pairs level by level reproduces
+        SimComm._tree_sum's pairing exactly."""
+        rng = np.random.default_rng(size)
+        items = [rng.standard_normal(5) for _ in range(size)]
+        slots = [x.copy() for x in items]
+        for level in _reduce_schedule(size):
+            for a, b in level:
+                slots[a] = slots[a] + slots[b]
+        sim = SimComm(generic_cpu(), size, Tracer())
+        np.testing.assert_array_equal(
+            slots[0], sim.allreduce_sum([x.copy() for x in items]))
+
+
+class TestBitIdenticalReductions:
+    """Every collective, byte-for-byte against the simulator."""
+
+    @pytest.mark.parametrize("size", [1, 2, 3, 4, 5])
+    def test_allreduce_sum(self, size):
+        rng = np.random.default_rng(size)
+        shards = [rng.standard_normal((3, 2)) for _ in range(size)]
+        sim, mp = _pair(size)
+        try:
+            a = sim.allreduce_sum([s.copy() for s in shards])
+            b = mp.allreduce_sum([s.copy() for s in shards])
+            assert a.tobytes() == b.tobytes()
+        finally:
+            mp.close()
+
+    def test_allreduce_sum_f32_contributions(self, mp4):
+        rng = np.random.default_rng(0)
+        shards = [rng.standard_normal((4,)).astype(np.float32)
+                  for _ in range(4)]
+        sim = SimComm(generic_cpu(), 4, Tracer())
+        a = sim.allreduce_sum([s.copy() for s in shards])
+        b = mp4.allreduce_sum([s.copy() for s in shards])
+        assert a.dtype == b.dtype
+        assert a.tobytes() == b.tobytes()
+
+    def test_allreduce_scalar(self, mp4):
+        vals = [0.1, 0.2, 0.3, 0.7]
+        sim = SimComm(generic_cpu(), 4, Tracer())
+        assert mp4.allreduce_scalar(vals) == sim.allreduce_scalar(vals)
+
+    def test_fused_allreduce_sum(self, mp4):
+        rng = np.random.default_rng(1)
+        g1 = [rng.standard_normal((2, 2)) for _ in range(4)]
+        g2 = [rng.standard_normal((3,)) for _ in range(4)]
+        sim = SimComm(generic_cpu(), 4, Tracer())
+        a = sim.fused_allreduce_sum([[s.copy() for s in g] for g in (g1, g2)])
+        b = mp4.fused_allreduce_sum([[s.copy() for s in g] for g in (g1, g2)])
+        for x, y in zip(a, b):
+            assert x.tobytes() == y.tobytes()
+
+    def test_stacked_variants(self, mp4):
+        rng = np.random.default_rng(2)
+        stack = rng.standard_normal((4, 3, 2))
+        sim = SimComm(generic_cpu(), 4, Tracer())
+        assert (sim.allreduce_sum_stacked(stack.copy()).tobytes()
+                == mp4.allreduce_sum_stacked(stack.copy()).tobytes())
+        s2 = rng.standard_normal((4, 5))
+        a = sim.fused_allreduce_sum_stacked([stack.copy(), s2.copy()])
+        b = mp4.fused_allreduce_sum_stacked([stack.copy(), s2.copy()])
+        for x, y in zip(a, b):
+            assert x.tobytes() == y.tobytes()
+
+    def test_allreduce_dd(self, mp4):
+        rng = np.random.default_rng(3)
+        pairs = [matmul_dd(rng.standard_normal((6, 2)),
+                           rng.standard_normal((6, 2))) for _ in range(4)]
+        his = [p[0] for p in pairs]
+        los = [p[1] for p in pairs]
+        sim = SimComm(generic_cpu(), 4, Tracer())
+        ah, al = sim.allreduce_dd([h.copy() for h in his],
+                                  [lo.copy() for lo in los])
+        bh, bl = mp4.allreduce_dd([h.copy() for h in his],
+                                  [lo.copy() for lo in los])
+        assert ah.tobytes() == bh.tobytes()
+        assert al.tobytes() == bl.tobytes()
+
+
+class TestModeledTwin:
+    def test_twin_matches_sim_charges_exactly(self):
+        """The duplicated charge formulas must not drift: running the
+        same collective/charge sequence on both backends leaves the mp
+        modeled twin equal to the sim tracer — clock, kernels, counts."""
+        rng = np.random.default_rng(9)
+        shards = [rng.standard_normal((4, 4)) for _ in range(3)]
+        sim, mp = _pair(3)
+        try:
+            for comm in (sim, mp):
+                with comm.tracer.phase("ortho"):
+                    comm.allreduce_sum([s.copy() for s in shards])
+                with comm.tracer.phase("spmv"):
+                    comm.charge_local("spmv_local", [1e-4, 2e-4, 3e-4])
+                    comm.charge_halo([{1: 640.0}, {0: 640.0}, {0: 64.0}])
+                comm.charge_uniform("host", 5e-5)
+            assert mp.modeled.clock == sim.tracer.clock
+            assert mp.modeled.by_kernel == sim.tracer.by_kernel
+            assert mp.modeled.counts == sim.tracer.counts
+        finally:
+            mp.close()
+
+    def test_measured_tracer_records_wall_clock(self, mp4):
+        before = mp4.tracer.clock
+        mp4.allreduce_sum([np.ones(64) for _ in range(4)])
+        assert mp4.tracer.clock > before
+        assert mp4.tracer.sync_count() >= 1
+
+    def test_phase_stack_aliased(self, mp4):
+        """One phase region attributes both streams."""
+        with mp4.tracer.phase("ortho"):
+            mp4.allreduce_sum([np.ones(8) for _ in range(4)])
+        assert ("ortho", "allreduce") in mp4.tracer.by_kernel
+        assert ("ortho", "allreduce") in mp4.modeled.by_kernel
+
+
+class TestSharedStacks:
+    def test_alloc_stack_shape_dtype_zeroed(self, mp4):
+        stack = mp4.alloc_stack(4, 7, 2, np.float32)
+        assert stack.shape == (4, 7, 2)
+        assert stack.dtype == np.float32
+        assert not stack.any()
+        stack[1, 2, 0] = 3.0  # writable shared memory
+        assert stack[1, 2, 0] == 3.0
+
+    def test_describe_finds_strided_views(self, mp4):
+        stack = mp4.alloc_stack(4, 6, 3, np.float64)
+        view = stack[:, :, 1:2]  # column view, non-contiguous
+        desc = mp4._describe(view)
+        assert desc is not None
+        assert desc["shape"] == view.shape
+        private = np.zeros((4, 6, 3))
+        assert mp4._describe(private) is None
+
+
+class TestValidationAndLifecycle:
+    def test_contribution_count_checked(self, mp4):
+        with pytest.raises(CommunicatorError):
+            mp4.allreduce_sum([np.zeros(2)] * 3)
+
+    def test_close_idempotent_and_rejects_use(self):
+        comm = MpComm(generic_cpu(), 2, Tracer())
+        assert comm.allreduce_scalar([1.0, 1.0]) == 2.0
+        comm.close()
+        comm.close()
+        with pytest.raises(CommunicatorError):
+            comm.allreduce_scalar([1.0, 1.0])
+        assert "closed" in repr(comm)
+
+    def test_context_manager_closes(self):
+        with MpComm(generic_cpu(), 2, Tracer()) as comm:
+            comm.allreduce_scalar([1.0, 2.0])
+        with pytest.raises(CommunicatorError):
+            comm.allreduce_scalar([1.0, 2.0])
+
+    def test_size_one_works(self):
+        with MpComm(generic_cpu(), 1, Tracer()) as comm:
+            out = comm.allreduce_sum([np.arange(3.0)])
+            np.testing.assert_array_equal(out, np.arange(3.0))

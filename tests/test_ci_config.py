@@ -48,6 +48,21 @@ class TestWorkflow:
         # old second step
         assert runs.count("python -m pytest") == 1
 
+    def test_tier1_mp_smoke_step(self):
+        """The real-process backend smoke is a separate non-pytest step
+        under a hard timeout, so a deadlocked worker kills the step
+        instead of hanging the whole test job."""
+        yaml = pytest.importorskip("yaml")
+        doc = yaml.safe_load(WORKFLOW.read_text())
+        tier1 = doc["jobs"]["tier1"]
+        smoke = [step for step in tier1["steps"]
+                 if "mp_smoke" in step.get("run", "")]
+        assert smoke, "tier-1 has no MpComm smoke step"
+        run = smoke[0]["run"]
+        assert "timeout" in run
+        assert "pytest" not in run
+        assert "scripts/mp_smoke.py" in run
+
     def test_setup_python_uses_pip_cache(self):
         """Every setup-python step caches pip to keep matrix wall-clock
         flat."""
@@ -81,6 +96,11 @@ class TestWorkflow:
         assert "rgs_convergence" in runs
         assert "precision_stability" in runs
         assert "ca_mpk_tradeoff" in runs
+        # predicted-vs-measured validation runs nightly under a hard
+        # timeout and drops BENCH_measured.json into the uploaded dir
+        assert "backend_validation" in runs
+        assert "timeout" in runs
+        assert "--out experiment-out" in runs
         uploads = [step for step in nightly["steps"]
                    if "upload-artifact" in str(step.get("uses", ""))]
         assert uploads and uploads[0]["with"]["path"] == "experiment-out/"
@@ -102,6 +122,7 @@ class TestWorkflow:
     def test_referenced_files_exist(self):
         text = WORKFLOW.read_text()
         for ref in ("scripts/compare_bench.py",
+                    "scripts/mp_smoke.py",
                     "benchmarks/bench_kernels.py",
                     "benchmarks/BENCH_kernels.json",
                     "benchmarks/bench_sketch_kernels.py",
@@ -115,7 +136,8 @@ class TestWorkflow:
                     "src/repro/experiments/sketch_stability.py",
                     "src/repro/experiments/rgs_convergence.py",
                     "src/repro/experiments/precision_stability.py",
-                    "src/repro/experiments/ca_mpk_tradeoff.py"):
+                    "src/repro/experiments/ca_mpk_tradeoff.py",
+                    "src/repro/experiments/backend_validation.py"):
             path = ref
             if ref.startswith("src/repro/experiments/"):
                 # referenced as a module invocation in the nightly job
