@@ -1,0 +1,92 @@
+"""CI gate: the disabled span path must stay effectively free.
+
+Two assertions, run in bench-smoke right after ``bench_kernels``:
+
+1. **Micro overhead.**  With spans disabled, one ``Tracer.add`` call
+   pays a single ``is not None`` test over the pre-span implementation.
+   We time a batch of charges and require the per-call cost to stay
+   under an absolute bound generous enough for any CI host but far
+   below anything a regression (e.g. unconditional span allocation)
+   would produce.
+
+2. **Bit identity.**  Recording spans must not change what is charged:
+   the same solve with spans off and spans on must produce
+   byte-identical accumulator documents (``Tracer.to_dict``) — the
+   committed ``BENCH_*.json`` baselines depend on it.
+
+Run as ``PYTHONPATH=src python scripts/span_overhead_check.py``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import numpy as np
+
+from repro.krylov.simulation import Simulation
+from repro.krylov.sstep_gmres import sstep_gmres
+from repro.matrices.stencil import laplace2d
+from repro.ortho.two_stage import TwoStageScheme
+from repro.parallel.tracing import Tracer
+
+#: Absolute per-call budget for a spans-disabled charge.  A plain
+#: accumulator update is ~1 us even on slow CI hosts; tripping 10 us
+#: means the disabled path started doing real work.
+MAX_DISABLED_US_PER_CALL = 10.0
+
+CALLS = 100_000
+ROUNDS = 5
+
+
+def _time_adds(tracer: Tracer, calls: int) -> float:
+    t0 = time.perf_counter()
+    for _ in range(calls):
+        tracer.add("dot", 1.0e-9)
+    return time.perf_counter() - t0
+
+
+def micro_overhead() -> tuple[float, float]:
+    """Median per-call microseconds with spans (disabled, enabled)."""
+    disabled, enabled = [], []
+    for _ in range(ROUNDS):
+        off = Tracer()
+        disabled.append(_time_adds(off, CALLS))
+        on = Tracer()
+        on.enable_spans()
+        enabled.append(_time_adds(on, CALLS))
+    to_us = 1.0e6 / CALLS
+    return (float(np.median(disabled)) * to_us,
+            float(np.median(enabled)) * to_us)
+
+
+def solve_doc(spans: bool) -> dict:
+    """Accumulator document of a fixed small solve."""
+    sim = Simulation(laplace2d(16), ranks=4, spans=spans)
+    b = np.ones(sim.n)
+    sstep_gmres(sim, b, s=3, restart=9, tol=1.0e-8, maxiter=200,
+                scheme=TwoStageScheme(9))
+    return sim.tracer.to_dict()  # accumulators only, never the spans
+
+
+def main() -> int:
+    off_us, on_us = micro_overhead()
+    print(f"spans disabled: {off_us:.3f} us/charge   "
+          f"enabled: {on_us:.3f} us/charge   "
+          f"(bound {MAX_DISABLED_US_PER_CALL} us)")
+    if off_us > MAX_DISABLED_US_PER_CALL:
+        print("FAIL: disabled-span charge overhead above bound")
+        return 1
+
+    doc_off = solve_doc(spans=False)
+    doc_on = solve_doc(spans=True)
+    if doc_off != doc_on:
+        print("FAIL: enabling spans changed the charged accumulators")
+        return 1
+    print(f"accumulators bit-identical with spans on/off "
+          f"(clock {doc_off['clock']!r} s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,8 +28,9 @@ See ``examples/quickstart.py`` and README.md.
 """
 
 from repro._version import __version__
-from repro import (config, dd, distla, matrices, ortho, parallel, precision,
-                   precond, sketch)
+from repro import (config, dd, distla, matrices, obs, ortho, parallel,
+                   precision, precond, sketch)
+from repro.obs import CycleRecord, DriftReport, drift_report
 from repro.parallel import BACKENDS, Communicator, make_comm
 from repro.exceptions import (
     CholeskyBreakdownError,
@@ -66,6 +67,10 @@ __all__ = [
     "dd",
     "distla",
     "matrices",
+    "obs",
+    "CycleRecord",
+    "DriftReport",
+    "drift_report",
     "ortho",
     "parallel",
     "precision",

@@ -30,6 +30,8 @@ variant is asserted in ``tests/experiments/test_backend_validation.py``.
 
 from __future__ import annotations
 
+import json
+
 from datetime import datetime, timezone
 from pathlib import Path
 
@@ -44,6 +46,8 @@ from repro.experiments.common import ExperimentTable, fmt
 from repro.krylov.options import SolverOptions
 from repro.krylov.simulation import Simulation
 from repro.krylov.sstep_gmres import sstep_gmres
+from repro.obs.drift import DEFAULT_DRIFT_BOUND, drift_report
+from repro.obs.export import chrome_trace_doc
 from repro.matrices.stencil import laplace2d
 from repro.ortho.randomized import SketchedTwoStageScheme
 from repro.ortho.two_stage import TwoStageScheme
@@ -102,10 +106,14 @@ def run_scheme(scheme_name: str, *, nx: int, ranks: int, s: int,
 
     measured_runs = []
     modeled_clock = None
+    modeled_totals = None
+    measured_totals = None
     res_mp = None
+    drift = None
+    trace_doc = None
     for _ in range(max(repeats, 1)):
         scheme, options = _scheme_setup(scheme_name, restart)
-        with Simulation(a, ranks=ranks, backend="mp") as mp_sim:
+        with Simulation(a, ranks=ranks, backend="mp", spans=True) as mp_sim:
             snap = mp_sim.tracer.snapshot()
             twin_snap = mp_sim.comm.modeled.snapshot()
             res_mp = sstep_gmres(mp_sim, b, s=s, restart=restart, tol=tol,
@@ -113,7 +121,16 @@ def run_scheme(scheme_name: str, *, nx: int, ranks: int, s: int,
                                  options=options)
             measured_runs.append(
                 phase_breakdown(mp_sim.tracer.since(snap)))
-            modeled_clock = mp_sim.comm.modeled.since(twin_snap).clock
+            modeled_totals = mp_sim.comm.modeled.since(twin_snap)
+            measured_totals = mp_sim.tracer.since(snap)
+            modeled_clock = modeled_totals.clock
+            # drift + trace from the last repeat: span streams cover
+            # the whole communicator lifetime, totals just the solve
+            drift = drift_report(modeled_totals, measured_totals,
+                                 modeled_spans=mp_sim.comm.modeled.spans,
+                                 measured_spans=mp_sim.tracer.spans)
+            trace_doc = chrome_trace_doc(mp_sim.comm.modeled,
+                                         mp_sim.tracer)
 
         if res_mp.x.tobytes() != res_sim.x.tobytes():
             raise AssertionError(
@@ -135,13 +152,29 @@ def run_scheme(scheme_name: str, *, nx: int, ranks: int, s: int,
         "measured": best,
         "measured_runs": measured_runs,
         "walls": walls,
+        "modeled_totals": modeled_totals,
+        "measured_totals": measured_totals,
+        "drift": drift,
+        "trace_doc": trace_doc,
     }
 
 
 def run(nx: int = 40, ranks: int = 4, s: int = 5, restart: int = 30,
         tol: float = 1.0e-8, maxiter: int = 4000, repeats: int = 3,
-        schemes=SCHEMES) -> tuple[ExperimentTable, BenchArtifact]:
-    """Validate every scheme; returns (table, BENCH_measured artifact)."""
+        schemes=SCHEMES, trace_dir=None,
+        drift_bound: float | None = DEFAULT_DRIFT_BOUND
+        ) -> tuple[ExperimentTable, BenchArtifact]:
+    """Validate every scheme; returns (table, BENCH_measured artifact).
+
+    Every record's extras carry the full modeled/measured tracer totals
+    (:meth:`TraceTotals.to_dict`) and a ``drift`` section from
+    :func:`repro.obs.drift.drift_report`; when ``drift_bound`` is set
+    (default :data:`~repro.obs.drift.DEFAULT_DRIFT_BOUND`) the worst
+    per-phase share drift is asserted below it — the nightly model-vs-
+    measurement gate.  With ``trace_dir``, a Chrome trace-event file
+    ``trace_<scheme>.json`` (modeled + measured tracks, per-rank lanes)
+    is written per scheme.
+    """
     table = ExperimentTable(
         "backend_validation",
         f"predicted (sim) vs measured (mp) wall clock per phase "
@@ -163,6 +196,16 @@ def run(nx: int = 40, ranks: int = 4, s: int = 5, restart: int = 30,
                 fmt(bd["total"]))
         walls = out["walls"]
         res = out["result"]
+        drift = out["drift"]
+        if drift_bound is not None and not drift.within(drift_bound):
+            raise AssertionError(
+                f"{name}: predicted-vs-measured share drift "
+                f"{drift.max_share_drift:.3f} exceeds the configured "
+                f"bound {drift_bound} —\n{drift.summary()}")
+        if trace_dir is not None:
+            trace_path = Path(trace_dir) / f"trace_{name}.json"
+            trace_path.parent.mkdir(parents=True, exist_ok=True)
+            trace_path.write_text(json.dumps(out["trace_doc"]) + "\n")
         records.append(BenchRecord(
             name=f"backend_validation[{name}]",
             group="backend_validation",
@@ -180,6 +223,9 @@ def run(nx: int = 40, ranks: int = 4, s: int = 5, restart: int = 30,
                 "bit_identical": True,
                 "modeled": out["predicted"],
                 "measured": out["measured"],
+                "modeled_totals": out["modeled_totals"].to_dict(),
+                "measured_totals": out["measured_totals"].to_dict(),
+                "drift": drift.to_dict(),
             }))
     table.add_note("solutions are bit-identical across backends and the "
                    "mp modeled twin equals the sim prediction exactly "
@@ -190,6 +236,11 @@ def run(nx: int = 40, ranks: int = 4, s: int = 5, restart: int = 30,
                    "shapes, not magnitudes")
     table.add_note("panel QR = ortho phase net of reductions; allreduce "
                    "aggregates reductions across all phases")
+    table.add_note("each artifact record carries a per-phase drift "
+                   "section (share drift between the modeled twin and "
+                   "the measured timeline)"
+                   + (f"; worst drift gated < {drift_bound}"
+                      if drift_bound is not None else ""))
     artifact = BenchArtifact(
         name="measured",
         created_utc=datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -207,7 +258,8 @@ def main(argv: list | None = None) -> None:
     p.add_argument("--restart", type=int, default=30)
     p.add_argument("--repeats", type=int, default=3)
     p.add_argument("--out", default=".",
-                   help="directory for BENCH_measured.json")
+                   help="directory for BENCH_measured.json and the "
+                        "Chrome trace files")
     p.add_argument("--quick", action="store_true")
     args = p.parse_args(argv)
     nx = 24 if args.quick else args.nx
@@ -215,7 +267,7 @@ def main(argv: list | None = None) -> None:
     s = min(args.s, restart)
     repeats = 1 if args.quick else args.repeats
     table, artifact = run(nx=nx, ranks=args.ranks, s=s, restart=restart,
-                          repeats=repeats)
+                          repeats=repeats, trace_dir=args.out)
     print(table.render())
     path = artifact.write(Path(args.out) / "BENCH_measured.json")
     print(f"\nwrote {path}")

@@ -89,18 +89,21 @@ def generate_basis(machine: MachineSpec, mode: str, *, nx: int, ranks: int,
     snap = sim.tracer.snapshot()
     for lo, hi in _panel_bounds(s, restart + 1):
         mpk.extend(basis, max(lo, 1), hi)
-    totals = sim.tracer.since(snap)
-    seconds = totals.clock
-    halo = sum(c for (ph, k), c in totals.counts.items() if k == "halo")
-    halo_seconds = sum(v for (ph, k), v in totals.by_kernel.items()
-                       if k == "halo")
+    # the machine-readable snapshot is the source of truth; the named
+    # scalars below are views into it for the table renderer
+    doc = sim.tracer.since(snap).to_dict()
+    halo = sum(c for key, c in doc["counts"].items()
+               if key.endswith("/halo"))
+    halo_seconds = sum(v for key, v in doc["by_kernel"].items()
+                       if key.endswith("/halo"))
     stats = {
         "basis": basis.to_global(),
-        "seconds": seconds,
+        "totals": doc,
+        "seconds": doc["clock"],
         "halo_count": halo,
         "halo_seconds": halo_seconds,
-        "spmv_seconds": totals.by_phase.get("spmv", 0.0),
-        "precond_seconds": totals.by_phase.get("precond", 0.0),
+        "spmv_seconds": doc["by_phase"].get("spmv", 0.0),
+        "precond_seconds": doc["by_phase"].get("precond", 0.0),
     }
     if mode == "ca":
         plan = sim.matrix.ghost_plan(

@@ -16,6 +16,8 @@ inner iteration, pure restart-level control.
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 
 from repro.config import DEFAULT_RESTART, DEFAULT_TOL
@@ -60,16 +62,22 @@ def adaptive_sstep_gmres(sim: Simulation, b: np.ndarray,
     total_iters = 0
     total_restarts = 0
     history = ConvergenceHistory()
+    telemetry: list = []
     result: SolveResult | None = None
     while total_iters < maxiter:
         result = sstep_gmres(
             sim, b, x0=x, s=s, restart=restart, tol=tol,
             maxiter=maxiter - total_iters, scheme=scheme_factory(),
             basis=basis, precond=precond, options=options)
-        # merge bookkeeping across attempts
+        # merge bookkeeping across attempts (cycle numbers and
+        # iteration counts renumbered onto the combined timeline)
         its, res = result.history.as_arrays()
         for i, r in zip(its, res):
             history.record(int(i) + total_iters, float(r))
+        telemetry.extend(
+            dataclasses.replace(rec, cycle=rec.cycle + total_restarts,
+                                iterations=rec.iterations + total_iters)
+            for rec in result.telemetry)
         total_iters += result.iterations
         total_restarts += result.restarts
         x = result.x
@@ -84,6 +92,7 @@ def adaptive_sstep_gmres(sim: Simulation, b: np.ndarray,
     result.iterations = total_iters
     result.restarts = total_restarts
     result.history = history
+    result.telemetry = telemetry
     result.scheme = f"{result.scheme}[s={label}]"
     result.solver = "adaptive_sstep_gmres"
     return result

@@ -41,6 +41,7 @@ from repro.krylov.result import ConvergenceHistory, SolveResult
 from repro.krylov.options import OPTION_FIELD_NAMES, SolverOptions
 from repro.krylov.simulation import Simulation
 from repro.krylov.sstep_gmres import sstep_gmres
+from repro.obs.telemetry import SolveTelemetry
 from repro.ortho.base import BlockOrthoScheme
 from repro.precision.policy import PrecisionPolicy, resolve_policy
 from repro.precond.base import Preconditioner
@@ -152,6 +153,7 @@ def gmres_ir(sim: Simulation, b: np.ndarray,
     inner_scheme_name = "" if scheme is None else scheme.name
     prev_rel = math.inf
     no_progress = 0
+    tel = SolveTelemetry()  # one CycleRecord per refinement step
 
     while refinements < max_refinements:
         gamma = _explicit_residual(sim, b_vec, x_vec, r_vec)
@@ -177,6 +179,8 @@ def gmres_ir(sim: Simulation, b: np.ndarray,
         prev_rel = rel_res
 
         # Inner solve for the correction A d ~= r, in low precision.
+        tel.begin_cycle(refinements, mode=f"ir/{policy.name}")
+        tel.note_residual(rel_res)
         rhs = r_vec.to_global()[:, 0]
         inner = sstep_gmres(sim, rhs, s=s, restart=restart, tol=inner_tol,
                             maxiter=inner_maxiter, scheme=scheme,
@@ -199,6 +203,10 @@ def gmres_ir(sim: Simulation, b: np.ndarray,
             "basis_condition_max": diag.get("basis_condition_max"),
             "residual_gap_max": diag.get("residual_gap_max"),
         })
+        for fld, key in (("basis_condition", "basis_condition_max"),
+                         ("residual_gap", "residual_gap_max")):
+            if diag.get(key) is not None:
+                tel.observe(fld, diag[key])
         if (not usable
                 or diag.get("basis_condition_max", 0.0) > cond_trigger
                 or diag.get("residual_gap_max", 0.0) > gap_trigger):
@@ -207,6 +215,7 @@ def gmres_ir(sim: Simulation, b: np.ndarray,
             # target (never tighten) and rely on more refinements.
             triggers += 1
             inner_tol = min(inner_tol * 10.0, 0.25)
+            tel.event("trigger:loosen_inner_tol")
         if usable:
             # x += d, in fp64 on the simulated machine.
             d_vec = sim.vector_from(inner.x)
@@ -214,10 +223,13 @@ def gmres_ir(sim: Simulation, b: np.ndarray,
                 dblas.lincomb(x_vec, [(1.0, x_vec), (1.0, d_vec)])
         else:
             no_progress += 1
+            tel.event("correction_skipped")
             if no_progress >= 2:
                 stalled = True
+                tel.end_cycle(total_iters)
                 break
         refinements += 1
+        tel.end_cycle(total_iters)
 
     totals = tracer.since(snap)
     times = dict(totals.by_phase)
@@ -241,4 +253,5 @@ def gmres_ir(sim: Simulation, b: np.ndarray,
             "refinement_triggers": triggers,
             "inner_tol_final": inner_tol,
             "inner_solves": inner_summaries,
-        })
+        },
+        telemetry=tel.to_list())

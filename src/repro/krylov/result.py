@@ -60,8 +60,14 @@ class SolveResult:
     #: path records ``solve_mode``, the worst basis condition estimate
     #: ``kappa(S V)`` seen at a checkpoint, and the largest residual gap
     #: ``| ||r||_est - ||r||_explicit | / ||b||`` observed at a restart
-    #: (the backward-stability monitor of arXiv:2409.03079).
+    #: (the backward-stability monitor of arXiv:2409.03079).  These are
+    #: solve-wide reductions of :attr:`telemetry`.
     diagnostics: dict = field(default_factory=dict)
+    #: Structured per-cycle telemetry: one
+    #: :class:`repro.obs.telemetry.CycleRecord` per restart cycle
+    #: (per refinement for GMRES-IR) — residual norm, residual gap,
+    #: basis condition, embedding distortion, solve mode and events.
+    telemetry: list = field(default_factory=list)
 
     @property
     def total_time(self) -> float:

@@ -58,6 +58,12 @@ class Simulation:
         (real worker processes).  With ``"mp"``, :meth:`close` the
         simulation (or use it as a context manager) to tear the workers
         down; results are bit-identical to ``"sim"``.
+    spans:
+        When True, record structured
+        :class:`~repro.parallel.tracing.SpanEvent` streams on every
+        timeline this simulation owns (see :meth:`enable_spans`), for
+        the :mod:`repro.obs` exporters and drift monitor.  Off by
+        default — the disabled path costs one pointer test per charge.
     """
 
     def __init__(self, a: sp.spmatrix, ranks: int = 4,
@@ -65,7 +71,8 @@ class Simulation:
                  tracer: Tracer | None = None,
                  partition: Partition | None = None,
                  engine: str | None = None,
-                 backend: str = "sim") -> None:
+                 backend: str = "sim",
+                 spans: bool = False) -> None:
         n = a.shape[0]
         if partition is None:
             partition = Partition(n, ranks)
@@ -79,6 +86,8 @@ class Simulation:
         self.partition = partition
         self.matrix = DistSparseMatrix(a, partition, self.comm)
         self.backend = DistBackend(self.comm, engine=engine)
+        if spans:
+            self.enable_spans()
         # setup (partition/halo analysis) is not solver time
         self.comm.mark()
 
@@ -118,6 +127,19 @@ class Simulation:
         a vector of all ones')."""
         return np.asarray(self.matrix.to_scipy()
                           @ np.ones(self.n)).ravel()
+
+    def enable_spans(self) -> None:
+        """Start recording span streams on this simulation's timelines.
+
+        Covers the primary tracer and, on ``backend="mp"``, the
+        communicator's modeled twin — so one mp solve yields both the
+        ``measured`` and the ``modeled`` track of a Chrome trace export
+        (:func:`repro.obs.export.export_chrome_trace`).  Idempotent.
+        """
+        self.tracer.enable_spans()
+        modeled = getattr(self.comm, "modeled", None)
+        if modeled is not None:
+            modeled.enable_spans()
 
     # ------------------------------------------------------------------
     def close(self) -> None:

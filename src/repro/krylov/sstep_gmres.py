@@ -58,6 +58,7 @@ from repro.krylov.options import (  # noqa: F401  (re-exported for back-compat)
 )
 from repro.krylov.result import ConvergenceHistory, SolveResult
 from repro.krylov.simulation import Simulation
+from repro.obs.telemetry import SolveTelemetry
 from repro.ortho.base import BlockOrthoScheme, OrthoObserver
 from repro.ortho.bcgs_pip import BCGSPIP2Scheme
 from repro.precision.kernels import MixedPrecisionTwoStageScheme
@@ -309,7 +310,7 @@ def sstep_gmres(sim: Simulation, b: np.ndarray,
     stalled_cycles = 0
     stalled = False
     est_abs: float | None = None  # last checkpoint's residual estimate
-    cycle_cond_max = 0.0          # worst kappa(S V) seen this cycle
+    tel = SolveTelemetry()        # one CycleRecord per restart cycle
 
     while iters < maxiter and not converged:
         gamma = _explicit_residual(sim, b_vec, x_vec, r_vec)
@@ -319,28 +320,35 @@ def sstep_gmres(sim: Simulation, b: np.ndarray,
         if sketch_ctx is not None and est_abs is not None:
             # Residual-gap monitor (arXiv:2409.03079): the distance
             # between the estimated and the explicit residual, relative
-            # to the initial residual norm.
+            # to the initial residual norm.  The gap belongs to the
+            # cycle whose estimate it checks — the one that just ended.
             gap = abs(gamma - est_abs) / beta0
-            diagnostics["residual_gap_max"] = max(
-                diagnostics["residual_gap_max"], gap)
+            tel.observe_gap(gap)
             est_abs = None
             if solve_mode == "adaptive":
                 # Switch between cycles, never inside one: classical is
                 # cheaper (no sketch collectives) but its coordinate
                 # least squares silently degrades when orthogonality
-                # slips — the residual gap is exactly that slip.
+                # slips — the residual gap is exactly that slip.  The
+                # switch-back guard reads the finished cycle's worst
+                # kappa(S V) off its telemetry record.
+                prev = tel.last
+                prev_cond = (prev.basis_condition
+                             if prev is not None
+                             and prev.basis_condition is not None else 0.0)
                 if mode == "classical" and gap > gap_threshold:
                     mode = "sketched"
-                    diagnostics["mode_switches"] += 1
+                    tel.event_last("mode_switch:sketched")
                 elif (mode == "sketched" and gap <= gap_threshold
-                      and 0.0 < cycle_cond_max <= adaptive_cond_threshold):
+                      and 0.0 < prev_cond <= adaptive_cond_threshold):
                     mode = "classical"
-                    diagnostics["mode_switches"] += 1
-        cycle_cond_max = 0.0
+                    tel.event_last("mode_switch:classical")
         rel_res = gamma / beta0
         if rel_res <= tol:
             converged = True
             break
+        tel.begin_cycle(restarts, mode=mode)
+        tracer.set_cycle(restarts)
         poly.new_cycle(h_prev)
         t_cob = poly.change_of_basis(restart)
         with tracer.phase("ortho"):
@@ -359,7 +367,7 @@ def sstep_gmres(sim: Simulation, b: np.ndarray,
 
         def _check(hi: int) -> bool:
             """Hessenberg + least squares at a final-R checkpoint."""
-            nonlocal best, rel_res, h_prev, est_abs, cycle_cond_max
+            nonlocal best, rel_res, h_prev, est_abs
             c = hi - 1
             if c < 1:
                 return False
@@ -382,19 +390,14 @@ def sstep_gmres(sim: Simulation, b: np.ndarray,
                 backend.host_flops(
                     2.0 * sq.shape[0] * (c + 1) ** 2 + 2.0 * c ** 3)
                 if np.isfinite(info["basis_condition"]):
-                    diagnostics["basis_condition_max"] = max(
-                        diagnostics["basis_condition_max"],
-                        info["basis_condition"])
-                    cycle_cond_max = max(cycle_cond_max,
-                                         info["basis_condition"])
+                    tel.observe("basis_condition", info["basis_condition"])
                 # Leave-one-out split test: does the embedding actually
                 # certify these basis columns?  Host-only, no
                 # collectives; the running max is the re-sketching
                 # signal surfaced in SolveResult.diagnostics.
                 loo = leave_one_out_distortion(sq)
                 backend.host_flops(4.0 * sq.shape[0] * (c + 1) ** 2)
-                diagnostics["embedding_distortion_max"] = max(
-                    diagnostics["embedding_distortion_max"], loo)
+                tel.observe("embedding_distortion", loo)
                 if (resketch_threshold is not None
                         and math.isfinite(loo)
                         and loo > resketch_threshold):
@@ -407,6 +410,7 @@ def sstep_gmres(sim: Simulation, b: np.ndarray,
                     # of the same shape cannot fix that, so it stays
                     # report-only.
                     sketch_ctx.request_resketch()
+                    tel.event("resketch_requested")
                 est_abs = resid
             else:
                 y, resid = least_squares_residual(h, gamma, rhs=rhs)
@@ -420,6 +424,7 @@ def sstep_gmres(sim: Simulation, b: np.ndarray,
             h_prev = h
             rel_res = resid / beta0
             history.record(iters, rel_res)
+            tel.note_residual(rel_res)
             return rel_res <= tol
 
         cycle_converged = False
@@ -439,6 +444,7 @@ def sstep_gmres(sim: Simulation, b: np.ndarray,
                 # so truncate the cycle at the last sound panel and let
                 # the explicit restart decide.
                 breakdown = True
+                tel.event("breakdown")
                 break
             iters += hi - max(lo, 1)
             if final and _check(scheme.final_cols):
@@ -453,6 +459,7 @@ def sstep_gmres(sim: Simulation, b: np.ndarray,
             except CholeskyBreakdownError:
                 flushed = False
                 breakdown = True
+                tel.event("breakdown")
             if flushed:
                 cycle_converged = _check(scheme.final_cols)
 
@@ -475,17 +482,28 @@ def sstep_gmres(sim: Simulation, b: np.ndarray,
             stalled_cycles += 1
             if stalled_cycles >= 2:
                 stalled = True
+                tel.end_cycle(iters)
                 break
         restarts += 1
+        tel.end_cycle(iters)
         if cycle_converged:
             # loop back once more: the explicit residual at the top
             # verifies convergence (paper Fig. 1 lines 18-19)
             continue
 
+    tracer.set_cycle(None)
+    # the legacy diagnostics keys are solve-wide reductions of the
+    # per-cycle telemetry records (identical values by construction)
     if solve_mode == "adaptive":
         diagnostics["final_mode"] = mode
+        diagnostics["mode_switches"] = tel.count_event("mode_switch")
     if sketch_ctx is not None:
         diagnostics["resketch_count"] = sketch_ctx.resketch_count
+        diagnostics["basis_condition_max"] = tel.max_of(
+            "basis_condition", 0.0)
+        diagnostics["residual_gap_max"] = tel.max_of("residual_gap", 0.0)
+        diagnostics["embedding_distortion_max"] = tel.max_of(
+            "embedding_distortion", 0.0)
     totals = tracer.since(snap)
     times = dict(totals.by_phase)
     times["total"] = totals.clock
@@ -498,4 +516,4 @@ def sstep_gmres(sim: Simulation, b: np.ndarray,
         restarts=restarts, relative_residual=float(rel_res),
         history=history, times=times, ortho_breakdown=ortho_breakdown,
         sync_count=sync_count, solver="sstep_gmres", scheme=scheme.name,
-        stalled=stalled, diagnostics=diagnostics)
+        stalled=stalled, diagnostics=diagnostics, telemetry=tel.to_list())

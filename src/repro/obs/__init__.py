@@ -1,0 +1,51 @@
+"""Observability: structured solve telemetry, trace export, drift monitoring.
+
+This package turns the raw signals the library already produces — the
+:class:`~repro.parallel.tracing.Tracer` span stream and the solvers'
+per-cycle numerics monitors — into first-class artifacts:
+
+:mod:`repro.obs.telemetry`
+    :class:`CycleRecord` / :class:`SolveTelemetry` — one structured
+    record per restart cycle (residual norm, residual gap, basis
+    condition, embedding distortion, solve mode, resketch/IR events),
+    surfaced as ``SolveResult.telemetry`` and backing the legacy
+    ``diagnostics`` keys.
+
+:mod:`repro.obs.export`
+    Chrome trace-event JSON (loadable in Perfetto / ``chrome://tracing``,
+    modeled and measured streams as separate tracks with per-rank lanes)
+    and JSONL exporters, plus the matching loaders.
+
+:mod:`repro.obs.drift`
+    The predicted-vs-measured drift monitor: pairs an
+    :class:`~repro.parallel.mp_backend.MpComm` measured tracer against
+    its modeled twin span-by-span and reports per-phase relative error
+    and share drift — the CI-gated number in ``BENCH_measured.json``.
+
+:mod:`repro.obs.cli`
+    The ``repro-trace`` command (``summarize`` / ``diff`` / ``export``),
+    also reachable as ``python -m repro.obs.cli``.
+"""
+
+from repro.obs.drift import (DEFAULT_DRIFT_BOUND, DriftReport, PhaseDrift,
+                             drift_report)
+from repro.obs.export import (
+    chrome_trace_doc,
+    export_chrome_trace,
+    export_jsonl,
+    load_spans,
+)
+from repro.obs.telemetry import CycleRecord, SolveTelemetry
+
+__all__ = [
+    "DEFAULT_DRIFT_BOUND",
+    "CycleRecord",
+    "SolveTelemetry",
+    "DriftReport",
+    "PhaseDrift",
+    "drift_report",
+    "chrome_trace_doc",
+    "export_chrome_trace",
+    "export_jsonl",
+    "load_spans",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.obs`` — alias for the ``repro-trace`` CLI."""
+
+import sys
+
+from repro.obs.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,168 @@
+"""``repro-trace``: inspect and convert exported trace files.
+
+Three subcommands over the files :mod:`repro.obs.export` writes
+(Chrome trace-event JSON or JSONL, sniffed automatically):
+
+``repro-trace summarize trace.json``
+    Per-stream, per-phase totals, span counts and collective payload
+    bytes — the quick "what's in this trace" view.
+
+``repro-trace diff a.json [b.json]``
+    Per-phase share-drift table between two traces; with a single file
+    containing both streams (an mp-backend export), diffs its modeled
+    track against its measured one.
+
+``repro-trace export in.jsonl out.json``
+    Convert between the JSONL and Chrome formats (target chosen by the
+    output extension, or forced with ``--format``).
+
+Installed as a console script by ``pip install``; equally runnable from
+a checkout as ``PYTHONPATH=src python -m repro.obs.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+from repro.obs.drift import drift_report
+from repro.obs.export import export_chrome_trace, export_jsonl, load_spans
+from repro.parallel.tracing import TraceTotals
+
+
+def _accumulate(spans) -> dict[str, TraceTotals]:
+    """Rebuild per-stream accumulator totals from driver kernel spans."""
+    per_stream: dict[str, dict] = defaultdict(
+        lambda: {"clock": 0.0, "by_phase": defaultdict(float),
+                 "by_kernel": defaultdict(float), "counts": defaultdict(int)})
+    for s in spans:
+        if s.cat != "kernel" or s.rank is not None:
+            continue
+        acc = per_stream[s.stream]
+        acc["clock"] = max(acc["clock"], s.t1)
+        acc["by_phase"][s.phase] += s.duration
+        acc["by_kernel"][(s.phase, s.name)] += s.duration
+        acc["counts"][(s.phase, s.name)] += s.count
+    return {stream: TraceTotals(acc["clock"], dict(acc["by_phase"]),
+                                dict(acc["by_kernel"]), dict(acc["counts"]))
+            for stream, acc in per_stream.items()}
+
+
+def _summarize(args) -> int:
+    spans = load_spans(args.trace)
+    if not spans:
+        print(f"{args.trace}: no spans")
+        return 1
+    print(f"{args.trace}: {len(spans)} spans")
+    for stream, totals in sorted(_accumulate(spans).items()):
+        lanes = {s.rank for s in spans
+                 if s.stream == stream and s.rank is not None}
+        payload = sum(s.payload_bytes for s in spans
+                      if s.stream == stream and s.payload_bytes is not None
+                      and s.rank is None)
+        print(f"\n[{stream}] clock {totals.clock:.6f} s"
+              + (f", {len(lanes)} rank lanes" if lanes else "")
+              + f", {payload:.0f} collective payload bytes")
+        for phase in sorted(totals.by_phase, key=lambda p: -totals.by_phase[p]):
+            kerns = sorted(
+                ((k[1], v) for k, v in totals.by_kernel.items()
+                 if k[0] == phase), key=lambda kv: -kv[1])
+            detail = ", ".join(
+                f"{k} {v:.6f}s (x{totals.counts[(phase, k)]})"
+                for k, v in kerns)
+            print(f"  {phase:<12s} {totals.by_phase[phase]:.6f} s  [{detail}]")
+    return 0
+
+
+def _diff(args) -> int:
+    spans_a = load_spans(args.a)
+    if args.b is not None:
+        spans_b = load_spans(args.b)
+        acc_a, acc_b = _accumulate(spans_a), _accumulate(spans_b)
+        if len(acc_a) != 1 or len(acc_b) != 1:
+            # multi-stream files diff stream-by-stream on matching tags
+            common = sorted(set(acc_a) & set(acc_b))
+            if not common:
+                print("no common stream between the two traces")
+                return 1
+            for stream in common:
+                print(f"[{stream}] {args.a} vs {args.b}")
+                rep = drift_report(
+                    acc_a[stream], acc_b[stream],
+                    modeled_spans=[s for s in spans_a if s.stream == stream],
+                    measured_spans=[s for s in spans_b if s.stream == stream])
+                print(rep.summary())
+            return 0
+        (ta,) = acc_a.values()
+        (tb,) = acc_b.values()
+        rep = drift_report(ta, tb, modeled_spans=spans_a,
+                           measured_spans=spans_b)
+        print(rep.summary())
+        return 0
+    acc = _accumulate(spans_a)
+    if not ("modeled" in acc and "measured" in acc):
+        print(f"{args.a} holds streams {sorted(acc)}; need both 'modeled' "
+              f"and 'measured' to self-diff (or pass a second trace)")
+        return 1
+    by_stream = defaultdict(list)
+    for s in spans_a:
+        by_stream[s.stream].append(s)
+    rep = drift_report(acc["modeled"], acc["measured"],
+                       modeled_spans=by_stream["modeled"],
+                       measured_spans=by_stream["measured"])
+    print(rep.summary())
+    return 0
+
+
+def _export(args) -> int:
+    spans = load_spans(args.src)
+    fmt = args.format
+    if fmt is None:
+        fmt = "jsonl" if Path(args.dst).suffix == ".jsonl" else "chrome"
+    if fmt == "jsonl":
+        path = export_jsonl(args.dst, spans)
+    else:
+        path = export_chrome_trace(args.dst, spans)
+    print(f"wrote {path} ({fmt}, {len(spans)} spans)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(prog="repro-trace", description=__doc__,
+                                formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = p.add_subparsers(dest="command", required=True)
+
+    s = sub.add_parser("summarize", help="per-stream/phase totals of a trace")
+    s.add_argument("trace")
+    s.set_defaults(func=_summarize)
+
+    d = sub.add_parser("diff", help="per-phase share drift between traces")
+    d.add_argument("a")
+    d.add_argument("b", nargs="?", default=None,
+                   help="second trace; omit to diff one file's modeled "
+                        "stream against its measured one")
+    d.set_defaults(func=_diff)
+
+    e = sub.add_parser("export", help="convert between trace formats")
+    e.add_argument("src")
+    e.add_argument("dst")
+    e.add_argument("--format", choices=("chrome", "jsonl"), default=None,
+                   help="target format (default: by output extension)")
+    e.set_defaults(func=_export)
+    return p
+
+
+def main(argv: list | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # stdout closed early (e.g. piped into head) — standard CLI exit
+        sys.stderr.close()
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

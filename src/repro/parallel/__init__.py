@@ -22,7 +22,7 @@ every modeled cost.  Construct either via :func:`make_comm`.
 
 from repro.parallel.machine import MachineSpec, summit, vortex, generic_cpu
 from repro.parallel.costmodel import CostModel
-from repro.parallel.tracing import Tracer, phase_names
+from repro.parallel.tracing import SpanEvent, Tracer, TraceTotals, phase_names
 from repro.parallel.partition import Partition
 from repro.parallel.api import BACKENDS, Communicator, make_comm
 from repro.parallel.communicator import SimComm
@@ -35,6 +35,8 @@ __all__ = [
     "generic_cpu",
     "CostModel",
     "Tracer",
+    "TraceTotals",
+    "SpanEvent",
     "phase_names",
     "Partition",
     "BACKENDS",

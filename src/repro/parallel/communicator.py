@@ -61,14 +61,18 @@ class SimComm:
         self.cost = CostModel(machine)
         self.engine = None if engine is None else config.validate_engine(engine)
 
-    def _charge(self, kernel: str, seconds: float, count: int = 1) -> None:
+    def _charge(self, kernel: str, seconds: float, count: int = 1,
+                payload_bytes: float | None = None) -> None:
         """Record one modeled charge.
 
         Every cost this class computes funnels through here so subclasses
         can redirect the *modeled* stream (the mp backend sends it to its
         modeled twin while ``self.tracer`` accumulates wall clock).
+        ``payload_bytes`` annotates collective charges for the span
+        stream; it never affects the charged seconds.
         """
-        self.tracer.add(kernel, seconds, count=count)
+        self.tracer.add(kernel, seconds, count=count,
+                        payload_bytes=payload_bytes)
 
     # ------------------------------------------------------------------
     def _check_contributions(self, shards: list[np.ndarray]) -> None:
@@ -136,14 +140,16 @@ class SimComm:
         self._check_contributions(shards)
         result = self._tree_sum(shards)
         payload = self._payload_bytes(result, shards[0])
-        self._charge("allreduce", self.cost.allreduce(payload, self.size))
+        self._charge("allreduce", self.cost.allreduce(payload, self.size),
+                     payload_bytes=payload)
         return result
 
     def allreduce_scalar(self, values: list[float]) -> float:
         """Scalar allreduce (same cost floor as a tiny message)."""
         self._check_contributions([np.asarray(v) for v in values])
         result = self._tree_sum([np.asarray(float(v)) for v in values])
-        self._charge("allreduce", self.cost.allreduce(8.0, self.size))
+        self._charge("allreduce", self.cost.allreduce(8.0, self.size),
+                     payload_bytes=8.0)
         return float(result)
 
     def fused_allreduce_sum(self, shard_groups: list[list[np.ndarray]]
@@ -165,7 +171,8 @@ class SimComm:
             red = self._tree_sum(shards)
             payload += self._payload_bytes(red, shards[0])
             results.append(red)
-        self._charge("allreduce", self.cost.allreduce(payload, self.size))
+        self._charge("allreduce", self.cost.allreduce(payload, self.size),
+                     payload_bytes=payload)
         return results
 
     # -- stacked variants (batched engine) ------------------------------
@@ -184,7 +191,8 @@ class SimComm:
         self._check_stack(stack)
         result = self._tree_sum_stacked(stack)
         payload = self._payload_bytes(result, stack)
-        self._charge("allreduce", self.cost.allreduce(payload, self.size))
+        self._charge("allreduce", self.cost.allreduce(payload, self.size),
+                     payload_bytes=payload)
         return result
 
     def fused_allreduce_sum_stacked(self, stacks: list[np.ndarray]
@@ -199,7 +207,8 @@ class SimComm:
             red = self._tree_sum_stacked(stack)
             payload += self._payload_bytes(red, stack)
             results.append(red)
-        self._charge("allreduce", self.cost.allreduce(payload, self.size))
+        self._charge("allreduce", self.cost.allreduce(payload, self.size),
+                     payload_bytes=payload)
         return results
 
     # ------------------------------------------------------------------
@@ -215,6 +224,14 @@ class SimComm:
         """Charge a kernel whose cost is identical on every rank."""
         self._charge(kernel, seconds, count=count)
 
+    @staticmethod
+    def _halo_payload(recv_bytes_by_rank: list[dict[int, float]]) -> float:
+        """Span annotation for a halo exchange: the slowest rank's total
+        inbound bytes (the elapsed-time-defining payload)."""
+        return max(
+            (float(sum(recv.values())) for recv in recv_bytes_by_rank),
+            default=0.0)
+
     def charge_halo(self, recv_bytes_by_rank: list[dict[int, float]]) -> None:
         """Charge a neighbourhood exchange: elapsed = slowest rank."""
         if len(recv_bytes_by_rank) != self.size:
@@ -224,7 +241,8 @@ class SimComm:
             self.cost.halo_exchange(recv, rank, self.size)
             for rank, recv in enumerate(recv_bytes_by_rank)
         )
-        self._charge("halo", worst)
+        self._charge("halo", worst,
+                     payload_bytes=self._halo_payload(recv_bytes_by_rank))
 
     # ------------------------------------------------------------------
     def allreduce_dd(self, his: list[np.ndarray], los: list[np.ndarray]
@@ -247,7 +265,8 @@ class SimComm:
             items = merged
         hi, lo = items[0]
         payload = float(np.asarray(hi).nbytes + np.asarray(lo).nbytes)
-        self._charge("allreduce", self.cost.allreduce(payload, self.size))
+        self._charge("allreduce", self.cost.allreduce(payload, self.size),
+                     payload_bytes=payload)
         return hi, lo
 
     # ------------------------------------------------------------------

@@ -232,9 +232,11 @@ class MpComm(SimComm):
                  engine: str | None = None, *,
                  timeout: float = 60.0) -> None:
         super().__init__(machine, size, tracer, engine=engine)
+        self.tracer.stream = "measured"
         self.modeled = Tracer()
-        # one `with tracer.phase(...)` drives both streams
-        self.modeled._phase_stack = self.tracer._phase_stack
+        # one `with tracer.phase(...)` (and one cycle marker) drives
+        # both streams
+        self.tracer.share_phase_stack(self.modeled)
         self._timeout = float(timeout)
         self._schedule = _reduce_schedule(self.size)
         method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
@@ -266,9 +268,11 @@ class MpComm(SimComm):
         self._mark = time.perf_counter()
 
     # -- measured-time bookkeeping -------------------------------------
-    def _charge(self, kernel: str, seconds: float, count: int = 1) -> None:
+    def _charge(self, kernel: str, seconds: float, count: int = 1,
+                payload_bytes: float | None = None) -> None:
         # the inherited SimComm cost formulas land on the modeled twin
-        self.modeled.add(kernel, seconds, count=count)
+        self.modeled.add(kernel, seconds, count=count,
+                         payload_bytes=payload_bytes)
 
     def mark(self) -> None:
         """Reset the wall-clock attribution mark (drop setup time)."""
@@ -342,16 +346,20 @@ class MpComm(SimComm):
         result = self._reduce_flat([a.ravel() for a in arrs]
                                    ).reshape(arrs[0].shape)
         payload = self._payload_bytes(result, arrs[0])
-        self._charge("allreduce", self.cost.allreduce(payload, self.size))
-        self.tracer.add("allreduce", self._take_elapsed())
+        self._charge("allreduce", self.cost.allreduce(payload, self.size),
+                     payload_bytes=payload)
+        self.tracer.add("allreduce", self._take_elapsed(),
+                        payload_bytes=payload)
         return result
 
     def allreduce_scalar(self, values: list[float]) -> float:
         self._check_contributions([np.asarray(v) for v in values])
         result = float(self._reduce_flat(
             [np.asarray([float(v)]) for v in values])[0])
-        self._charge("allreduce", self.cost.allreduce(8.0, self.size))
-        self.tracer.add("allreduce", self._take_elapsed())
+        self._charge("allreduce", self.cost.allreduce(8.0, self.size),
+                     payload_bytes=8.0)
+        self.tracer.add("allreduce", self._take_elapsed(),
+                        payload_bytes=8.0)
         return result
 
     def fused_allreduce_sum(self, shard_groups: list[list[np.ndarray]]
@@ -376,8 +384,10 @@ class MpComm(SimComm):
             offset += m
             payload += self._payload_bytes(red, shards[0])
             results.append(red)
-        self._charge("allreduce", self.cost.allreduce(payload, self.size))
-        self.tracer.add("allreduce", self._take_elapsed())
+        self._charge("allreduce", self.cost.allreduce(payload, self.size),
+                     payload_bytes=payload)
+        self.tracer.add("allreduce", self._take_elapsed(),
+                        payload_bytes=payload)
         return results
 
     def allreduce_sum_stacked(self, stack: np.ndarray) -> np.ndarray:
@@ -387,8 +397,10 @@ class MpComm(SimComm):
             [stack[r].ravel() for r in range(self.size)]
         ).reshape(stack.shape[1:])
         payload = self._payload_bytes(result, stack)
-        self._charge("allreduce", self.cost.allreduce(payload, self.size))
-        self.tracer.add("allreduce", self._take_elapsed())
+        self._charge("allreduce", self.cost.allreduce(payload, self.size),
+                     payload_bytes=payload)
+        self.tracer.add("allreduce", self._take_elapsed(),
+                        payload_bytes=payload)
         return result
 
     def fused_allreduce_sum_stacked(self, stacks: list[np.ndarray]
@@ -412,8 +424,10 @@ class MpComm(SimComm):
             offset += m
             payload += self._payload_bytes(red, stack)
             results.append(red)
-        self._charge("allreduce", self.cost.allreduce(payload, self.size))
-        self.tracer.add("allreduce", self._take_elapsed())
+        self._charge("allreduce", self.cost.allreduce(payload, self.size),
+                     payload_bytes=payload)
+        self.tracer.add("allreduce", self._take_elapsed(),
+                        payload_bytes=payload)
         return results
 
     def allreduce_dd(self, his: list[np.ndarray], los: list[np.ndarray]
@@ -429,8 +443,10 @@ class MpComm(SimComm):
         hi = merged[:m].reshape(shape)
         lo = merged[m:].reshape(shape)
         payload = float(hi.nbytes + lo.nbytes)
-        self._charge("allreduce", self.cost.allreduce(payload, self.size))
-        self.tracer.add("allreduce", self._take_elapsed())
+        self._charge("allreduce", self.cost.allreduce(payload, self.size),
+                     payload_bytes=payload)
+        self.tracer.add("allreduce", self._take_elapsed(),
+                        payload_bytes=payload)
         return hi, lo
 
     # -- accounting: modeled via super(), measured via elapsed marks ---
@@ -449,7 +465,8 @@ class MpComm(SimComm):
     def charge_halo(self, recv_bytes_by_rank: list[dict[int, float]]) -> None:
         super().charge_halo(recv_bytes_by_rank)
         self.tracer.add("halo", self._pending.pop("halo", 0.0)
-                        + self._take_elapsed())
+                        + self._take_elapsed(),
+                        payload_bytes=self._halo_payload(recv_bytes_by_rank))
 
     # -- shard storage and worker-executed SpMV ------------------------
     def alloc_stack(self, ranks: int, rows: int, k: int,
@@ -512,7 +529,9 @@ class MpComm(SimComm):
         The measured cost is split into a halo part (slowest worker's
         operand gather) and a local-compute part, parked in ``_pending``
         for the `charge_halo` / `charge_local("spmv_local")` calls the
-        caller issues next.
+        caller issues next.  With spans enabled, each worker's own
+        gather/compute timings land as rank-tagged spans (per-rank trace
+        lanes) without touching the accumulators.
         """
         if self._closed:
             return False
@@ -526,6 +545,15 @@ class MpComm(SimComm):
         acks = self._roundtrip({"op": "spmv", "mat": token, "x": xdesc,
                                 "out": odesc, "storage": out.storage})
         elapsed = self._take_elapsed()
+        if self.tracer.spans_enabled:
+            base = self.tracer.clock
+            for r, ack in enumerate(acks):
+                g = max(float(ack["gather"]), 0.0)
+                c = max(float(ack["compute"]), 0.0)
+                self.tracer.record_span("halo", base, base + g,
+                                        phase="spmv", rank=r)
+                self.tracer.record_span("spmv_local", base + g, base + g + c,
+                                        phase="spmv", rank=r)
         gather = max(a["gather"] for a in acks)
         halo = min(max(gather, 0.0), elapsed)
         self._pending["halo"] = self._pending.get("halo", 0.0) + halo

@@ -45,9 +45,9 @@ def run_one_cycle(scheme_factory, engine, **option_kw):
                       tol=1e-30, maxiter=RESTART, scheme=scheme_factory(),
                       options=SolverOptions(**option_kw))
     assert res.restarts == 1
-    tracer = sim.tracer
-    halo = sum(c for (_, k), c in tracer.counts.items() if k == "halo")
-    return halo, tracer.sync_count(), tracer.sync_count("ortho")
+    total = sim.tracer.collective_counts()
+    ortho = sim.tracer.collective_counts("ortho")
+    return total["halo"], total["allreduce"], ortho["allreduce"]
 
 
 class TestHaloBudget:

@@ -1,0 +1,103 @@
+"""repro-trace CLI: summarize / diff / export via main(argv)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.cli import main
+from repro.obs.export import export_chrome_trace, load_spans
+from repro.parallel.tracing import Tracer
+
+
+@pytest.fixture()
+def twin_trace(tmp_path):
+    """Chrome trace holding both streams (an mp-backend style export)."""
+    modeled = Tracer()
+    measured = Tracer(stream="measured")
+    for t in (modeled, measured):
+        t.enable_spans()
+    with modeled.phase("spmv"):
+        modeled.add("halo", 1.0, payload_bytes=64.0)
+    with modeled.phase("ortho"):
+        modeled.add("allreduce", 1.0, payload_bytes=8.0)
+    with measured.phase("spmv"):
+        measured.add("halo", 3.0, payload_bytes=64.0)
+        measured.record_span("halo", 0.0, 1.5, rank=0)
+    with measured.phase("ortho"):
+        measured.add("allreduce", 1.0, payload_bytes=8.0)
+    path = tmp_path / "twin.json"
+    export_chrome_trace(path, modeled, measured)
+    return path
+
+
+class TestSummarize:
+    def test_reports_both_streams(self, twin_trace, capsys):
+        assert main(["summarize", str(twin_trace)]) == 0
+        out = capsys.readouterr().out
+        assert "[modeled]" in out and "[measured]" in out
+        assert "1 rank lanes" in out
+        assert "72 collective payload bytes" in out
+
+    def test_empty_trace_fails(self, tmp_path, capsys):
+        path = tmp_path / "empty.json"
+        path.write_text('{"traceEvents": []}\n')
+        assert main(["summarize", str(path)]) == 1
+        assert "no spans" in capsys.readouterr().out
+
+
+class TestDiff:
+    def test_self_diff_twin_file(self, twin_trace, capsys):
+        assert main(["diff", str(twin_trace)]) == 0
+        out = capsys.readouterr().out
+        assert "max share drift" in out and "spmv" in out
+
+    def test_self_diff_needs_both_streams(self, tmp_path, capsys):
+        t = Tracer()
+        t.enable_spans()
+        t.add("dot", 1.0)
+        path = export_chrome_trace(tmp_path / "single.json", t)
+        assert main(["diff", str(path)]) == 1
+        assert "need both" in capsys.readouterr().out
+
+    def test_two_single_stream_files(self, tmp_path, capsys):
+        a, b = Tracer(), Tracer(stream="measured")
+        for t in (a, b):
+            t.enable_spans()
+            t.add("dot", 1.0)
+        pa = export_chrome_trace(tmp_path / "a.json", a)
+        pb = export_chrome_trace(tmp_path / "b.json", b)
+        assert main(["diff", str(pa), str(pb)]) == 0
+        assert "max share drift" in capsys.readouterr().out
+
+
+class TestExport:
+    def test_chrome_to_jsonl_and_back(self, twin_trace, tmp_path, capsys):
+        jsonl = tmp_path / "out.jsonl"
+        assert main(["export", str(twin_trace), str(jsonl)]) == 0
+        assert "jsonl" in capsys.readouterr().out
+        assert len(load_spans(jsonl)) == len(load_spans(twin_trace))
+
+        chrome = tmp_path / "back.json"
+        assert main(["export", str(jsonl), str(chrome)]) == 0
+        doc = json.loads(chrome.read_text())
+        assert "traceEvents" in doc
+
+    def test_format_flag_overrides_extension(self, twin_trace, tmp_path):
+        dst = tmp_path / "forced.json"
+        assert main(["export", str(twin_trace), str(dst),
+                     "--format", "jsonl"]) == 0
+        # JSONL content despite the .json extension (sniffed on read)
+        first = dst.read_text().splitlines()[0]
+        assert "traceEvents" not in first
+
+
+def test_module_entrypoint_help():
+    import subprocess
+    import sys
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.obs.cli", "--help"],
+        capture_output=True, text=True)
+    assert proc.returncode == 0
+    assert "repro-trace" in proc.stdout

@@ -1,0 +1,110 @@
+"""Drift monitor: span pairing, share drift, gating."""
+
+from __future__ import annotations
+
+import math
+
+from repro.obs.drift import (DEFAULT_DRIFT_BOUND, DriftReport, drift_report,
+                             pair_kernel_spans)
+from repro.parallel.tracing import SpanEvent, Tracer
+
+
+def _span(name, t0, t1, phase="other", stream="modeled", cat="kernel",
+          rank=None):
+    return SpanEvent(name, t0, t1, phase, stream, cat=cat, rank=rank)
+
+
+class TestPairing:
+    def test_in_order_pairing(self):
+        mod = [_span("halo", 0.0, 1.0, "spmv"), _span("dot", 1.0, 2.0, "ortho")]
+        mea = [_span("halo", 0.0, 3.0, "spmv", "measured"),
+               _span("dot", 3.0, 4.0, "ortho", "measured")]
+        pairs, mismatches = pair_kernel_spans(mod, mea)
+        assert mismatches == 0
+        assert [(m.name, x.name) for m, x in pairs] == [("halo", "halo"),
+                                                        ("dot", "dot")]
+
+    def test_sequence_disagreement_counts_mismatch(self):
+        mod = [_span("halo", 0.0, 1.0, "spmv"), _span("dot", 1.0, 2.0, "ortho")]
+        mea = [_span("dot", 0.0, 1.0, "ortho", "measured"),
+               _span("halo", 1.0, 2.0, "spmv", "measured")]
+        pairs, mismatches = pair_kernel_spans(mod, mea)
+        assert pairs == [] and mismatches == 2
+
+    def test_length_difference_counts_mismatch(self):
+        mod = [_span("dot", 0.0, 1.0)]
+        pairs, mismatches = pair_kernel_spans(mod, [])
+        assert pairs == [] and mismatches == 1
+
+    def test_phase_envelopes_and_rank_lanes_not_paired(self):
+        mod = [_span("spmv", 0.0, 1.0, "spmv", cat="phase"),
+               _span("halo", 0.0, 0.5, "spmv", rank=2)]
+        pairs, mismatches = pair_kernel_spans(mod, [])
+        assert pairs == [] and mismatches == 0
+
+
+class TestDriftReport:
+    def _tracers(self):
+        """Model says 50/50 spmv/ortho; measurement says 80/20 at 10x."""
+        modeled = Tracer()
+        measured = Tracer(stream="measured")
+        for t in (modeled, measured):
+            t.enable_spans()
+        with modeled.phase("spmv"):
+            modeled.add("halo", 1.0)
+        with modeled.phase("ortho"):
+            modeled.add("dot", 1.0)
+        with measured.phase("spmv"):
+            measured.add("halo", 16.0)
+        with measured.phase("ortho"):
+            measured.add("dot", 4.0)
+        return modeled, measured
+
+    def test_share_drift_and_scale(self):
+        modeled, measured = self._tracers()
+        rep = drift_report(modeled, measured)
+        assert rep.scale == 10.0
+        spmv = rep.phase_drift("spmv")
+        assert spmv.modeled_share == 0.5 and spmv.measured_share == 0.8
+        assert math.isclose(spmv.share_drift, 0.3)
+        assert math.isclose(rep.max_share_drift, 0.3)
+        # rel error after removing the 10x scale: |16 - 10| / 10
+        assert math.isclose(spmv.rel_error, 0.6)
+        assert rep.within(DEFAULT_DRIFT_BOUND)
+        assert not rep.within(0.25)
+
+    def test_spans_pulled_from_tracers_and_attributed(self):
+        modeled, measured = self._tracers()
+        rep = drift_report(modeled, measured)
+        assert rep.spans_paired == 2 and rep.span_mismatches == 0
+        assert rep.phase_drift("spmv").spans_paired == 1
+
+    def test_totals_inputs_without_spans(self):
+        modeled, measured = self._tracers()
+        rep = drift_report(modeled.snapshot(), measured.snapshot())
+        assert rep.spans_paired == 0
+        assert math.isclose(rep.max_share_drift, 0.3)
+
+    def test_phase_only_in_measurement_is_infinite_rel_error(self):
+        modeled, measured = self._tracers()
+        with measured.phase("precond"):
+            measured.add("host", 1.0)
+        rep = drift_report(modeled, measured)
+        assert rep.phase_drift("precond").modeled_seconds == 0.0
+        assert rep.phase_drift("precond").rel_error == float("inf")
+
+    def test_empty_report_gates_clean(self):
+        rep = DriftReport()
+        assert rep.max_share_drift == 0.0 and rep.within()
+        assert math.isnan(drift_report(Tracer(), Tracer()).scale)
+
+    def test_to_dict_and_summary(self):
+        import json
+        modeled, measured = self._tracers()
+        rep = drift_report(modeled, measured)
+        doc = rep.to_dict()
+        json.dumps(doc)
+        assert doc["max_share_drift"] == rep.max_share_drift
+        assert len(doc["phases"]) == 2
+        text = rep.summary()
+        assert "spmv" in text and "max share drift" in text

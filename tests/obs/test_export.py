@@ -1,0 +1,109 @@
+"""Trace exporters: Chrome trace-event document, JSONL, round-trips."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.export import (STREAM_PIDS, chrome_trace_doc,
+                              export_chrome_trace, export_jsonl, load_spans)
+from repro.parallel.tracing import SpanEvent, Tracer
+
+
+def _twin_tracers():
+    """Modeled + measured tracer pair with driver and rank-lane spans."""
+    modeled = Tracer()
+    measured = Tracer(stream="measured")
+    measured.share_phase_stack(modeled)
+    for t in (modeled, measured):
+        t.enable_spans()
+    measured.set_cycle(0)
+    with measured.phase("spmv"):
+        modeled.add("halo", 0.25, payload_bytes=128.0)
+        measured.add("halo", 0.5, payload_bytes=128.0)
+        measured.record_span("halo", 0.0, 0.2, rank=0)
+        measured.record_span("spmv_local", 0.2, 0.5, rank=1)
+    with measured.phase("ortho"):
+        modeled.add("allreduce", 0.1, count=2, payload_bytes=8.0)
+        measured.add("allreduce", 0.3, count=2, payload_bytes=8.0)
+    return modeled, measured
+
+
+class TestChromeDoc:
+    def test_streams_become_processes_ranks_become_lanes(self):
+        modeled, measured = _twin_tracers()
+        doc = chrome_trace_doc(modeled, measured)
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert {e["pid"] for e in xs} == {STREAM_PIDS["modeled"],
+                                          STREAM_PIDS["measured"]}
+        measured_tids = {e["tid"] for e in xs
+                         if e["pid"] == STREAM_PIDS["measured"]}
+        assert measured_tids == {0, 1, 2}  # driver + rank 0 + rank 1
+        # modeled twin has no workers: driver lane only
+        assert {e["tid"] for e in xs
+                if e["pid"] == STREAM_PIDS["modeled"]} == {0}
+
+    def test_metadata_names_processes_and_lanes(self):
+        modeled, measured = _twin_tracers()
+        doc = chrome_trace_doc(modeled, measured)
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert doc["traceEvents"][:len(meta)] == meta  # metadata first
+        names = {(e["name"], e["pid"], e["tid"]): e["args"]["name"]
+                 for e in meta}
+        assert names[("process_name", 1, 0)] == "modeled"
+        assert names[("process_name", 2, 0)] == "measured"
+        assert names[("thread_name", 2, 0)] == "driver"
+        assert names[("thread_name", 2, 2)] == "rank 1"
+
+    def test_complete_events_microseconds_and_args(self):
+        modeled, _ = _twin_tracers()
+        doc = chrome_trace_doc(modeled)
+        (halo,) = [e for e in doc["traceEvents"]
+                   if e["ph"] == "X" and e["name"] == "halo"]
+        assert halo["ts"] == 0.0 and halo["dur"] == 0.25e6
+        assert halo["args"]["phase"] == "spmv"
+        assert halo["args"]["payload_bytes"] == 128.0
+        assert halo["args"]["cycle"] == 0
+        (ar,) = [e for e in doc["traceEvents"]
+                 if e["ph"] == "X" and e["name"] == "allreduce"]
+        assert ar["args"]["count"] == 2
+
+    def test_doc_is_json_safe(self):
+        modeled, measured = _twin_tracers()
+        json.dumps(chrome_trace_doc(modeled, measured))
+
+
+class TestRoundTrips:
+    def test_chrome_round_trip(self, tmp_path):
+        modeled, measured = _twin_tracers()
+        path = export_chrome_trace(tmp_path / "trace.json", modeled, measured)
+        spans = load_spans(path)
+        originals = modeled.spans + measured.spans
+        assert len(spans) == len(originals)
+        by_key = {(s.stream, s.rank, s.t0, s.name): s for s in spans}
+        for orig in originals:
+            got = by_key[(orig.stream, orig.rank, orig.t0, orig.name)]
+            assert (got.phase, got.cat, got.cycle,
+                    got.payload_bytes, got.count) == (
+                orig.phase, orig.cat, orig.cycle,
+                orig.payload_bytes, orig.count)
+            assert abs(got.t1 - orig.t1) < 1e-12
+
+    def test_jsonl_round_trip_exact(self, tmp_path):
+        modeled, measured = _twin_tracers()
+        path = export_jsonl(tmp_path / "trace.jsonl", modeled, measured)
+        spans = load_spans(path)
+        # JSONL is lossless; the exporter sorts by (t0, t1)
+        assert sorted(spans, key=lambda s: (s.t0, s.t1, s.name)) == sorted(
+            modeled.spans + measured.spans,
+            key=lambda s: (s.t0, s.t1, s.name))
+
+    def test_load_sniffs_format_by_content_not_extension(self, tmp_path):
+        modeled, _ = _twin_tracers()
+        chrome_named_jsonl = tmp_path / "trace.json"
+        export_jsonl(chrome_named_jsonl, modeled)
+        assert len(load_spans(chrome_named_jsonl)) == len(modeled.spans)
+
+    def test_span_sources_accept_iterables(self):
+        spans = [SpanEvent("dot", 0.0, 1.0, "other", "modeled")]
+        doc = chrome_trace_doc(spans, ())
+        assert sum(e["ph"] == "X" for e in doc["traceEvents"]) == 1

@@ -1,10 +1,11 @@
-"""Tracer: phase attribution, snapshots/diffs, reporting."""
+"""Tracer: phase attribution, snapshots/diffs, spans, reporting."""
 
 from __future__ import annotations
 
 import pytest
 
-from repro.parallel.tracing import Tracer, phase_names
+from repro.parallel.tracing import (COLLECTIVE_KERNELS, SpanEvent, Tracer,
+                                    phase_names)
 
 
 class TestPhases:
@@ -24,6 +25,16 @@ class TestPhases:
         assert t.phase_seconds("spmv") == 0.5
         assert t.clock == 3.5
 
+    def test_reentering_same_phase_name_unwinds_to_outer(self):
+        t = Tracer()
+        with t.phase("ortho"):
+            with t.phase("ortho"):
+                t.add("dot", 1.0)
+            assert t.current_phase == "ortho"
+            t.add("update", 2.0)
+        assert t.current_phase == "other"
+        assert t.phase_seconds("ortho") == 3.0
+
     def test_phase_restored_after_exception(self):
         t = Tracer()
         with pytest.raises(RuntimeError):
@@ -38,6 +49,28 @@ class TestPhases:
 
 
 class TestSnapshots:
+    def test_since_counts_are_diffs_not_totals(self):
+        t = Tracer()
+        t.add("dot", 1.0, count=3)
+        snap = t.snapshot()
+        t.add("dot", 1.0, count=2)
+        d = t.since(snap)
+        assert d.counts[("other", "dot")] == 2
+        assert t.counts[("other", "dot")] == 5
+
+    def test_since_keys_absent_from_snapshot_diff_against_zero(self):
+        t = Tracer()
+        t.add("dot", 1.0)
+        snap = t.snapshot()
+        with t.phase("spmv"):
+            t.add("halo", 0.25, count=4)
+        d = t.since(snap)
+        assert d.by_kernel[("spmv", "halo")] == 0.25
+        assert d.counts[("spmv", "halo")] == 4
+        # untouched keys diff to zero, not disappear
+        assert d.by_kernel[("other", "dot")] == 0.0
+        assert d.counts[("other", "dot")] == 0
+
     def test_since_diff(self):
         t = Tracer()
         with t.phase("ortho"):
@@ -85,3 +118,145 @@ class TestAccessors:
 
     def test_phase_names(self):
         assert "ortho" in phase_names()
+
+    def test_collective_counts_zero_filled(self):
+        t = Tracer()
+        assert t.collective_counts() == dict.fromkeys(COLLECTIVE_KERNELS, 0)
+
+    def test_collective_counts_cover_all_collectives(self):
+        t = Tracer()
+        with t.phase("ortho"):
+            t.add("allreduce", 0.1, count=2)
+            t.add("bcast", 0.1)
+        with t.phase("spmv"):
+            t.add("halo", 0.1, count=3)
+            t.add("spmv_local", 1.0)  # not a collective
+        assert t.collective_counts() == {"allreduce": 2, "halo": 3, "bcast": 1}
+        assert t.collective_counts("ortho") == {"allreduce": 2, "halo": 0,
+                                                "bcast": 1}
+        assert t.sync_count("ortho") == 2
+
+
+class TestSpanStream:
+    def test_disabled_by_default_and_records_nothing(self):
+        t = Tracer()
+        assert not t.spans_enabled
+        t.add("dot", 1.0)
+        t.record_span("halo", 0.0, 0.5, rank=1)  # no-op while disabled
+        assert t.spans == []
+
+    def test_charge_span_fields(self):
+        t = Tracer()
+        t.enable_spans()
+        t.set_cycle(7)
+        with t.phase("ortho"):
+            t.add("allreduce", 0.5, count=2, payload_bytes=64.0)
+        kernel_spans = [s for s in t.spans if s.cat == "kernel"]
+        assert len(kernel_spans) == 1
+        s = kernel_spans[0]
+        assert (s.name, s.phase, s.stream) == ("allreduce", "ortho", "modeled")
+        assert (s.t0, s.t1, s.duration) == (0.0, 0.5, 0.5)
+        assert (s.count, s.payload_bytes, s.cycle, s.rank) == (2, 64.0, 7, None)
+
+    def test_phase_region_records_phase_span(self):
+        t = Tracer()
+        t.enable_spans()
+        with t.phase("spmv"):
+            t.add("halo", 0.25)
+            t.add("spmv_local", 0.75)
+        phase_spans = [s for s in t.spans if s.cat == "phase"]
+        assert len(phase_spans) == 1
+        assert phase_spans[0].name == "spmv"
+        assert (phase_spans[0].t0, phase_spans[0].t1) == (0.0, 1.0)
+
+    def test_record_span_does_not_touch_accumulators(self):
+        t = Tracer()
+        t.enable_spans()
+        t.record_span("halo", 1.0, 2.0, phase="spmv", rank=3)
+        assert t.clock == 0.0 and not t.counts
+        (s,) = t.spans
+        assert (s.name, s.phase, s.rank) == ("halo", "spmv", 3)
+
+    def test_disable_drops_reset_preserves_enablement(self):
+        t = Tracer()
+        t.enable_spans()
+        t.add("dot", 1.0)
+        t.reset()
+        assert t.spans_enabled and t.spans == []
+        t.add("dot", 1.0)
+        t.disable_spans()
+        assert not t.spans_enabled and t.spans == []
+
+    def test_measured_stream_tag(self):
+        t = Tracer(stream="measured")
+        t.enable_spans()
+        t.add("dot", 1.0)
+        assert t.spans[0].stream == "measured"
+        assert t.report().startswith("measured clock:")
+
+
+class TestSharePhaseStack:
+    """Regression for the mp backend's modeled twin: one phase()/cycle
+    context must drive both tracers without touching private fields."""
+
+    def test_twin_follows_phase_and_cycle(self):
+        measured = Tracer(stream="measured")
+        modeled = Tracer()
+        measured.share_phase_stack(modeled)
+        measured.set_cycle(3)
+        with measured.phase("ortho"):
+            measured.add("allreduce", 0.2)
+            modeled.add("allreduce", 0.1)
+        assert modeled.phase_seconds("ortho") == 0.1
+        assert measured.phase_seconds("ortho") == 0.2
+        assert modeled.current_cycle == 3
+
+    def test_twin_spans_attribute_identically(self):
+        measured = Tracer(stream="measured")
+        modeled = Tracer()
+        measured.share_phase_stack(modeled)
+        for t in (measured, modeled):
+            t.enable_spans()
+        with measured.phase("spmv"):
+            measured.add("halo", 0.2)
+            modeled.add("halo", 0.1)
+        (ms,) = [s for s in measured.spans if s.cat == "kernel"]
+        (ds,) = [s for s in modeled.spans if s.cat == "kernel"]
+        assert ms.phase == ds.phase == "spmv"
+        assert (ms.stream, ds.stream) == ("measured", "modeled")
+
+
+class TestSerialization:
+    def test_span_event_round_trip(self):
+        s = SpanEvent("allreduce", 1.0, 1.5, "ortho", "measured",
+                      count=2, payload_bytes=8.0, cycle=4, rank=1)
+        assert SpanEvent.from_dict(s.to_dict()) == s
+
+    def test_span_event_from_sparse_dict_defaults(self):
+        s = SpanEvent.from_dict({"name": "dot", "t0": 0, "t1": 1})
+        assert (s.phase, s.stream, s.cat, s.count) == (
+            "other", "modeled", "kernel", 1)
+        assert s.payload_bytes is None and s.rank is None
+
+    def test_totals_to_dict_flattens_keys(self):
+        t = Tracer()
+        with t.phase("ortho"):
+            t.add("dot", 1.5, count=2)
+        doc = t.snapshot().to_dict()
+        assert doc["clock"] == 1.5
+        assert doc["by_phase"] == {"ortho": 1.5}
+        assert doc["by_kernel"] == {"ortho/dot": 1.5}
+        assert doc["counts"] == {"ortho/dot": 2}
+
+    def test_tracer_to_dict_stream_and_spans(self):
+        t = Tracer(stream="measured")
+        t.add("dot", 1.0)
+        doc = t.to_dict()
+        assert doc["stream"] == "measured"
+        assert "spans" not in doc
+        t.enable_spans()
+        t.add("dot", 1.0)
+        doc = t.to_dict(include_spans=True)
+        assert [s["name"] for s in doc["spans"]] == ["dot"]
+        import json
+        json.dumps(doc)  # JSON-safe end to end

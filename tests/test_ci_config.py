@@ -107,6 +107,32 @@ class TestWorkflow:
         # nightly-only jobs must not run the PR matrix twice
         assert doc["jobs"]["tier1"]["if"] == "github.event_name != 'schedule'"
 
+    def test_nightly_trace_summarize_smoke(self):
+        """The Chrome traces backend_validation writes into the uploaded
+        artifact dir must stay loadable by the repro-trace CLI."""
+        yaml = pytest.importorskip("yaml")
+        doc = yaml.safe_load(WORKFLOW.read_text())
+        steps = doc["jobs"]["nightly"]["steps"]
+        smoke = [s for s in steps if "repro.obs.cli" in s.get("run", "")]
+        assert smoke, "nightly has no repro-trace summarize smoke step"
+        run = smoke[0]["run"]
+        assert "summarize" in run and "diff" in run
+        assert "experiment-out/trace_" in run
+        # trace smoke runs after the step that produces the traces
+        runs = [s.get("run", "") for s in steps]
+        assert (runs.index(run)
+                > runs.index(next(r for r in runs
+                                  if "backend_validation" in r)))
+
+    def test_bench_smoke_span_overhead_gate(self):
+        """bench-smoke asserts the disabled span path stays free and
+        charge-identical, protecting the committed baselines."""
+        yaml = pytest.importorskip("yaml")
+        doc = yaml.safe_load(WORKFLOW.read_text())
+        runs = "\n".join(step.get("run", "")
+                         for step in doc["jobs"]["bench-smoke"]["steps"])
+        assert "scripts/span_overhead_check.py" in runs
+
     def test_bench_smoke_gates_all_baselines(self):
         yaml = pytest.importorskip("yaml")
         doc = yaml.safe_load(WORKFLOW.read_text())
@@ -123,6 +149,7 @@ class TestWorkflow:
         text = WORKFLOW.read_text()
         for ref in ("scripts/compare_bench.py",
                     "scripts/mp_smoke.py",
+                    "scripts/span_overhead_check.py",
                     "benchmarks/bench_kernels.py",
                     "benchmarks/BENCH_kernels.json",
                     "benchmarks/bench_sketch_kernels.py",
