@@ -116,6 +116,23 @@ class LoopEngine(KernelEngine):
             comm.charge_local("dot", costs)
         return comm.fused_allreduce_sum(groups)
 
+    def post_block_dot_multi(self, pairs):
+        """Posted :meth:`block_dot_multi`: local partials (and their
+        charges) now, the fused allreduce in flight — settle with
+        ``comm.wait(handle)``.  Per-group trees are independent, so the
+        results are bit-identical to the blocking call."""
+        comm = pairs[0][0].comm
+        groups = []
+        for x, y in pairs:
+            acc = _acc_dtype(x, y)
+            groups.append([_cast(xs, acc).T @ _cast(ys, acc)
+                           for xs, ys in zip(x.shards, y.shards)])
+            costs = [comm.cost.gemm(xs.shape[0], x.n_cols, y.n_cols,
+                                    word_bytes=_wb(x, y))
+                     for xs in x.shards]
+            comm.charge_local("dot", costs)
+        return comm.post_ifused_allreduce_sum(groups)
+
     def column_norms(self, x) -> np.ndarray:
         comm = x.comm
         acc = _acc_dtype(x)
@@ -332,6 +349,24 @@ class BatchedEngine(LoopEngine):
                 "dot", comm.cost.gemm(xs.shape[1], x.n_cols, y.n_cols,
                                       word_bytes=_wb(x, y)))
         return comm.fused_allreduce_sum_stacked(groups)
+
+    def post_block_dot_multi(self, pairs):
+        stacks = []
+        for x, y in pairs:
+            s = self._stacks(x, y)
+            if s is None:
+                return super().post_block_dot_multi(pairs)
+            stacks.append(s)
+        comm = pairs[0][0].comm
+        groups = []
+        for (xs, ys), (x, y) in zip(stacks, pairs):
+            acc = _acc_dtype(x, y)
+            groups.append(np.matmul(_cast(xs, acc).transpose(0, 2, 1),
+                                    _cast(ys, acc)))
+            comm.charge_uniform(
+                "dot", comm.cost.gemm(xs.shape[1], x.n_cols, y.n_cols,
+                                      word_bytes=_wb(x, y)))
+        return comm.post_ifused_allreduce_sum_stacked(groups)
 
     def column_norms(self, x) -> np.ndarray:
         stack = x.stack

@@ -125,7 +125,8 @@ class GhostPlan:
 
     __slots__ = ("partition", "depth", "expand", "levels", "ghost_rows",
                  "recv_counts_by_peer", "level_blocks",
-                 "level_rows", "level_nnz", "level_ranks", "n_global")
+                 "level_rows", "level_nnz", "level_ranks", "n_global",
+                 "_eager_counts", "_ring_counts")
 
     def __init__(self, partition: Partition, depth: int, expand: str,
                  levels: list[list[np.ndarray]],
@@ -163,6 +164,8 @@ class GhostPlan:
             self.recv_counts_by_peer.append(
                 {peer: int(rows.size) for peer, rows
                  in partition.group_by_owner(ghosts).items()})
+        self._eager_counts = None
+        self._ring_counts = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -209,6 +212,48 @@ class GhostPlan:
         scale = float(word_bytes) * n_vectors
         return [{peer: cnt * scale for peer, cnt in by_peer.items()}
                 for by_peer in self.recv_counts_by_peer]
+
+    def _split_counts(self) -> tuple[list[dict[int, int]],
+                                     list[dict[int, int]]]:
+        """(eager, ring) per-rank ghost row counts — the PA2 split.
+
+        ``eager`` is the depth-1 nearest-neighbour shell of the closure
+        (``L_1`` minus the owned block); ``ring`` is everything deeper
+        (``L_depth`` ghosts minus the eager shell).  Together they
+        partition :attr:`ghost_rows` exactly, so eager + ring payloads
+        sum to :meth:`recv_bytes` peer for peer.
+        """
+        if self._eager_counts is None:
+            eager, ring = [], []
+            for rank in range(self.partition.ranks):
+                lo = self.partition.offsets[rank]
+                hi = self.partition.offsets[rank + 1]
+                near_lvl = self.levels[rank][min(1, self.depth)]
+                near = near_lvl[(near_lvl < lo) | (near_lvl >= hi)]
+                far = np.setdiff1d(self.ghost_rows[rank], near,
+                                   assume_unique=True)
+                eager.append({peer: int(rows.size) for peer, rows
+                              in self.partition.group_by_owner(near).items()})
+                ring.append({peer: int(rows.size) for peer, rows
+                             in self.partition.group_by_owner(far).items()})
+            self._eager_counts, self._ring_counts = eager, ring
+        return self._eager_counts, self._ring_counts
+
+    def eager_recv_bytes(self, word_bytes: float = _DOUBLE,
+                         n_vectors: int = 1) -> list[dict[int, float]]:
+        """Payload of the depth-1 ghost shell — what the PA2 overlapped
+        kernel exchanges eagerly (blocking) before posting the ring."""
+        scale = float(word_bytes) * n_vectors
+        return [{peer: cnt * scale for peer, cnt in by_peer.items()}
+                for by_peer in self._split_counts()[0]]
+
+    def ring_recv_bytes(self, word_bytes: float = _DOUBLE,
+                        n_vectors: int = 1) -> list[dict[int, float]]:
+        """Payload of the deep-ring remainder (levels 2..depth) — what
+        PA2 posts nonblocking and hides behind the first local SpMVs."""
+        scale = float(word_bytes) * n_vectors
+        return [{peer: cnt * scale for peer, cnt in by_peer.items()}
+                for by_peer in self._split_counts()[1]]
 
     def ghost_counts(self) -> np.ndarray:
         """Ghost rows per rank at the deepest level (diagnostics)."""

@@ -19,6 +19,7 @@ from repro.experiments import (
     fig9,
     fig10_12,
     fig13,
+    overlap_tradeoff,
     precision_stability,
     rgs_convergence,
     sketch_stability,
@@ -44,6 +45,7 @@ _DISPATCH = {
     "rgs": rgs_convergence.main,
     "precision": precision_stability.main,
     "ca_mpk": ca_mpk_tradeoff.main,
+    "overlap": overlap_tradeoff.main,
     "backend": backend_validation.main,
 }
 
@@ -71,6 +73,10 @@ def run_all_quick() -> None:
     for t in precision_stability.run(n=1500, nx=20, maxiter=3000):
         print(t.render(), "\n")
     print(ca_mpk_tradeoff.run(nx=24, ranks=8).render(), "\n")
+    print(overlap_tradeoff.run(
+        nx=48, ranks=8, s=5, restart=15, bw_inter=1.0e6,
+        multipliers=overlap_tradeoff.LATENCY_MULTIPLIERS[:-1])[0].render(),
+        "\n")
     print(backend_validation.run(nx=24, restart=12, repeats=1)[0].render(),
           "\n")
 

@@ -15,8 +15,16 @@ Two execution modes generate the s-step basis (Fig. 1 lines 7-9):
   ghost region shrinking by one level per step.  Latency is paid once
   per panel instead of once per column, at the price of redundant flops
   on the ghost rings.
+* ``"ca_overlap"`` — the overlapped variant (Demmel et al.'s "PA2"):
+  the depth-1 nearest-neighbour shell is exchanged eagerly (blocking),
+  the deep-ring remainder is *posted* as a nonblocking exchange
+  (:meth:`~repro.parallel.communicator.SimComm.post_ihalo`), and the
+  first step's owned-rows SpMV runs inside the overlap window — the
+  ring's modeled time drains behind it and the wait charges only the
+  exposed remainder.  Same aggregate payload, same redundant flops,
+  (partially) hidden deep-halo latency.
 
-Both modes evaluate the identical recurrence over identical operand
+All modes evaluate the identical recurrence over identical operand
 values, so the generated basis is bit-identical — the tracer alone can
 tell them apart.  CA composes with preconditioners through the ghost
 closure (:attr:`~repro.precond.base.Preconditioner.ghost_compat`):
@@ -24,7 +32,10 @@ identity/Jacobi expand pointwise, block Jacobi rounds every level up to
 whole owner blocks, and anything else (polynomial, ...) has no finite
 closure — :class:`MatrixPowersKernel` raises ``ConfigurationError``,
 which is exactly why the paper (and Trilinos) default to the standard
-kernel for general preconditioning.
+kernel for general preconditioning.  ``"ca_overlap"`` is stricter
+still: splitting the ghost apply around the overlap window only has a
+well-defined cost split for the *unpreconditioned* operator, so any
+real preconditioner is rejected.
 """
 
 from __future__ import annotations
@@ -39,7 +50,7 @@ from repro.krylov.basis import KrylovBasis, MonomialBasis
 from repro.precond.base import IdentityPreconditioner, Preconditioner
 
 #: Valid ``mode`` values for :class:`MatrixPowersKernel`.
-MPK_MODES = ("standard", "ca")
+MPK_MODES = ("standard", "ca", "ca_overlap")
 
 
 class PreconditionedOperator:
@@ -133,13 +144,20 @@ class MatrixPowersKernel:
         if mode not in MPK_MODES:
             raise ConfigurationError(
                 f"unknown MPK mode {mode!r}; expected one of {MPK_MODES}")
-        if mode == "ca" and not op.supports_ca:
+        if mode in ("ca", "ca_overlap") and not op.supports_ca:
             raise ConfigurationError(
                 f"CA-MPK cannot compose with preconditioner "
                 f"{op.precond.name!r}: its ghost values have no finite "
                 f"dependency closure (ghost_compat=None); use "
                 f"mode='standard' (or mpk_mode='auto' in sstep_gmres for "
                 f"the automatic fallback)")
+        if mode == "ca_overlap" and op.is_preconditioned:
+            raise ConfigurationError(
+                f"the overlapped CA-MPK (PA2) does not compose with "
+                f"preconditioner {op.precond.name!r}: splitting the "
+                f"ghost apply around the posted ring exchange has no "
+                f"well-defined cost split for a preconditioned operator; "
+                f"use mode='ca' or mode='standard'")
         self.mode = mode
 
     def extend(self, basis: DistMultiVector, lo: int, hi: int) -> None:
@@ -148,8 +166,9 @@ class MatrixPowersKernel:
             raise ConfigurationError("MPK needs a starting column before lo")
         if hi <= lo:
             return
-        if self.mode == "ca":
-            self._extend_ca(basis, lo, hi)
+        if self.mode in ("ca", "ca_overlap"):
+            self._extend_ca(basis, lo, hi,
+                            overlap=self.mode == "ca_overlap")
         else:
             self._extend_standard(basis, lo, hi)
 
@@ -172,7 +191,8 @@ class MatrixPowersKernel:
                     dblas.lincomb(v_next, terms)
 
     # ------------------------------------------------------------------
-    def _extend_ca(self, basis: DistMultiVector, lo: int, hi: int) -> None:
+    def _extend_ca(self, basis: DistMultiVector, lo: int, hi: int,
+                   overlap: bool = False) -> None:
         """Ghost-zone CA panel: 1 aggregated exchange + ``hi - lo`` local
         steps over a shrinking closure.
 
@@ -182,6 +202,15 @@ class MatrixPowersKernel:
         closure stay zero, so an under-sized closure would contaminate
         the basis and fail the bit-identity contract with the standard
         kernel (which the test suite asserts).
+
+        With ``overlap`` (PA2) the exchange is split: the depth-1 shell
+        goes out eagerly (blocking — the first step's owned rows need
+        it), the deep ring is posted nonblocking, and the first step's
+        SpMV charge is split into an owned-rows part (inside the overlap
+        window, draining the posted ring) and a ghost-ring remainder
+        after the wait.  The computed *values* are untouched — the
+        simulator's exchanges are charge-only — so the basis stays
+        bit-identical to ``"ca"`` and ``"standard"``.
         """
         comm = basis.comm
         tracer = comm.tracer
@@ -204,9 +233,20 @@ class MatrixPowersKernel:
         gather_prev = coeffs[lo][2] != 0.0 and lo >= 2
 
         # -- the ONE aggregated deep-halo exchange ----------------------
+        # (PA2: eager depth-1 shell now, deep ring posted nonblocking)
+        n_vec = 2 if gather_prev else 1
+        ring_req = None
         with tracer.phase("spmv"):
-            comm.charge_halo(plan.recv_bytes(
-                basis.word_bytes, n_vectors=2 if gather_prev else 1))
+            if overlap:
+                comm.charge_halo(plan.eager_recv_bytes(
+                    basis.word_bytes, n_vectors=n_vec))
+                ring = plan.ring_recv_bytes(basis.word_bytes,
+                                            n_vectors=n_vec)
+                if any(ring):  # s == 1 (or a tiny grid) has no ring
+                    ring_req = comm.post_ihalo(ring)
+            else:
+                comm.charge_halo(plan.recv_bytes(
+                    basis.word_bytes, n_vectors=n_vec))
 
         def _gathered(col: int) -> list[np.ndarray]:
             """Per-rank work arrays of basis column ``col``: owned rows
@@ -246,12 +286,34 @@ class MatrixPowersKernel:
                     w = np.zeros(n)
                     w[rows] = y
                     v_new.append(w)
-                comm.charge_local("spmv_local", [
-                    comm.cost.spmv(int(plan.level_nnz[r, depth]),
-                                   int(plan.level_rows[r, depth]),
-                                   int(plan.level_rows[r, depth + 1]),
-                                   word_bytes=basis.word_bytes)
-                    for r in range(ranks)])
+                if ring_req is not None and col == lo:
+                    # PA2 first step: owned rows only need the eager
+                    # shell — their charge drains the posted ring...
+                    comm.charge_local("spmv_local", [
+                        comm.cost.spmv(int(plan.level_nnz[r, 0]),
+                                       int(plan.level_rows[r, 0]),
+                                       int(plan.level_rows[r, 1]),
+                                       word_bytes=basis.word_bytes)
+                        for r in range(ranks)])
+                    # ...then the ghost-ring remainder pays whatever the
+                    # wait left exposed before it may run
+                    comm.wait(ring_req)
+                    comm.charge_local("spmv_local", [
+                        comm.cost.spmv(
+                            int(plan.level_nnz[r, depth]
+                                - plan.level_nnz[r, 0]),
+                            int(plan.level_rows[r, depth]
+                                - plan.level_rows[r, 0]),
+                            int(plan.level_rows[r, depth + 1]),
+                            word_bytes=basis.word_bytes)
+                        for r in range(ranks)])
+                else:
+                    comm.charge_local("spmv_local", [
+                        comm.cost.spmv(int(plan.level_nnz[r, depth]),
+                                       int(plan.level_rows[r, depth]),
+                                       int(plan.level_rows[r, depth + 1]),
+                                       word_bytes=basis.word_bytes)
+                        for r in range(ranks)])
                 if recurrence:
                     for r in range(ranks):
                         rows = plan.levels[r][depth]

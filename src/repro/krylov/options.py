@@ -30,11 +30,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: cross their thresholds.
 SOLVE_MODES = ("classical", "sketched", "adaptive")
 
-#: Valid ``mpk_mode`` values: the two kernel modes plus ``"auto"``
+#: Valid ``mpk_mode`` values: the three kernel modes plus ``"auto"``
 #: (communication-avoiding whenever the preconditioner composes,
 #: standard otherwise — the fallback the paper's Trilinos setting
-#: hard-codes).
-MPK_SOLVER_MODES = ("standard", "ca", "auto")
+#: hard-codes; ``auto`` never escalates to the overlapped PA2 kernel,
+#: which must be requested explicitly).
+MPK_SOLVER_MODES = ("standard", "ca", "ca_overlap", "auto")
 
 #: Default leave-one-out distortion above which a sketched solve redraws
 #: its embedding at the next cycle.  Calibration note: the split test
@@ -72,10 +73,24 @@ class SolverOptions:
         ONE aggregated deep-halo exchange per s-panel, redundant local
         work on a shrinking ghost region; raises
         :class:`~repro.exceptions.ConfigurationError` when the
-        preconditioner has no finite ghost closure), or ``"auto"`` (CA
-        when the preconditioner composes, standard fallback otherwise).
-        Both kernels generate bit-identical bases; only the
+        preconditioner has no finite ghost closure), ``"ca_overlap"``
+        (the PA2 variant of ``"ca"``: eager depth-1 shell, deep ring
+        posted nonblocking and overlapped with the first local SpMV;
+        unpreconditioned operators only), or ``"auto"`` (CA when the
+        preconditioner composes, standard fallback otherwise — never
+        the overlapped kernel, which must be requested explicitly).
+        All kernels generate bit-identical bases; only the
         communication profile — and hence the modeled time — differs.
+    comm_overlap:
+        Opt-in overlap of the *solver-level* fused reductions: the
+        pipelined/low-synch schemes post the partial fused dot products
+        whose inputs are already final at the end of the previous push
+        and overlap them with the next operator application
+        (:meth:`post_ifused_allreduce_sum` / ``wait``).  Off by default
+        because it changes the collective *count* profile (two smaller
+        reductions per iteration instead of one fused one) that the
+        communication-budget tests pin down; numerical results are
+        bit-identical either way.
     precision:
         A :class:`~repro.precision.policy.PrecisionPolicy` (or
         registered name, e.g. ``"fp32"``) for the Krylov basis: the
@@ -114,6 +129,7 @@ class SolverOptions:
 
     solve_mode: str = "classical"
     mpk_mode: str = "standard"
+    comm_overlap: bool = False
     precision: "PrecisionPolicy | str | None" = None
     sketch_operator: str = "sparse"
     sketch_oversample: int | None = None

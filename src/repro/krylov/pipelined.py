@@ -20,6 +20,16 @@ uses (``H = C W^{-1}``, :func:`assemble_hessenberg_mixed`) with
 Convergence is tested once per restart cycle (the classical trade-off of
 pipelined variants: estimate freshness for latency); the explicit
 restart residual keeps the reported convergence exact.
+
+``options=SolverOptions(comm_overlap=True)`` posts the settle-side half
+of each iteration's fused reduction *before* the operator application
+(:meth:`DCGS2Orthogonalizer.post_push`): the pairs whose inputs are
+final at the end of ``push(j-1)`` travel nonblocking while the matrix
+powers apply runs, and ``push(j)`` waits only the exposed remainder.
+Per-pair reduction trees are independent, so the solve — iterates,
+history, Hessenberg — is bit-identical with the flag on or off; only
+the collective *count* (two smaller messages per iteration instead of
+one fused one) and the charged communication profile change.
 """
 
 from __future__ import annotations
@@ -32,6 +42,7 @@ from repro.exceptions import NumericalError
 from repro.krylov.gmres import _explicit_residual
 from repro.krylov.hessenberg import least_squares_residual
 from repro.krylov.mpk import PreconditionedOperator
+from repro.krylov.options import SolverOptions
 from repro.krylov.result import ConvergenceHistory, SolveResult
 from repro.krylov.simulation import Simulation
 from repro.ortho.low_sync import DCGS2Orthogonalizer
@@ -43,8 +54,19 @@ def pipelined_gmres(sim: Simulation, b: np.ndarray,
                     x0: np.ndarray | None = None, *,
                     restart: int = DEFAULT_RESTART, tol: float = DEFAULT_TOL,
                     maxiter: int = 100_000,
-                    precond: Preconditioner | None = None) -> SolveResult:
-    """Restarted pipelined GMRES: ~1 synchronization per iteration."""
+                    precond: Preconditioner | None = None,
+                    options: SolverOptions | None = None) -> SolveResult:
+    """Restarted pipelined GMRES: ~1 synchronization per iteration.
+
+    ``options`` takes the same :class:`SolverOptions` bundle as
+    :func:`~repro.krylov.sstep_gmres.sstep_gmres` so call sites can
+    swap solvers without repacking their configuration; of its knobs
+    only ``comm_overlap`` applies here (this solver has no s-step
+    panels, solve modes, or precision policy — see the module
+    docstring for what the flag does).
+    """
+    opts = options if options is not None else SolverOptions()
+    overlap = opts.comm_overlap
     tracer = sim.tracer
     backend = sim.backend
     snap = tracer.snapshot()
@@ -88,6 +110,11 @@ def pipelined_gmres(sim: Simulation, b: np.ndarray,
         w_rep[0, 0] = 1.0  # column 0 was settled exactly before its use
         steps = 0
         for j in range(1, restart + 1):
+            if overlap:
+                # post the settle-side half of push(j)'s reduction so it
+                # travels while the operator application runs below
+                with tracer.phase("ortho"):
+                    ortho.post_push(j)
             # apply the operator to the *current* (possibly pending)
             # content of column j-1 — the defining pipelined overlap
             op.apply(basis.view_cols(j - 1), basis.view_cols(j))

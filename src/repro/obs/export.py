@@ -66,6 +66,8 @@ def chrome_trace_doc(*sources) -> dict:
             args["payload_bytes"] = sp.payload_bytes
         if sp.count != 1:
             args["count"] = sp.count
+        if sp.overlapped_seconds is not None:
+            args["overlapped_seconds"] = sp.overlapped_seconds
         events.append({
             "name": sp.name, "cat": sp.cat, "ph": "X",
             "ts": sp.t0 * 1e6, "dur": sp.duration * 1e6,
@@ -123,7 +125,8 @@ def _spans_from_chrome(doc: dict) -> list[SpanEvent]:
             cat=ev.get("cat", "kernel"), count=int(args.get("count", 1)),
             payload_bytes=args.get("payload_bytes"),
             cycle=args.get("cycle"),
-            rank=None if tid == 0 else tid - 1))
+            rank=None if tid == 0 else tid - 1,
+            overlapped_seconds=args.get("overlapped_seconds")))
     return spans
 
 

@@ -55,6 +55,8 @@ class DCGS2Orthogonalizer:
         self.basis = None
         self._pending: int | None = None      # index of the pending column
         self._pending_r: np.ndarray | None = None  # its first-pass coeffs
+        self._posted = None                   # post_push handle in flight
+        self._posted_for: int | None = None   # the push index it belongs to
         #: After each settle: representation [z...; alpha] of the settled
         #: column's *pre-settle (pending) content* over the final basis —
         #: what pipelined GMRES needs for its Hessenberg recovery, since
@@ -76,10 +78,45 @@ class DCGS2Orthogonalizer:
         return beta
 
     # ------------------------------------------------------------------
+    def post_push(self, j: int) -> bool:
+        """Post the settle-side half of ``push(j)``'s fused reduction.
+
+        The pairs ``(Q_{0:j-2}, q_pend)`` and ``(q_pend, q_pend)`` read
+        only columns that are final when ``push(j-1)`` returns — NOT the
+        raw column ``j`` — so the caller may post them *before* the
+        operator application that fills column ``j`` and let the
+        collective overlap with it (pipelined GMRES's comm_overlap
+        path).  ``push(j)`` then waits the posted half and issues only
+        the remaining ``w``-side pairs blocking; per-pair reduction
+        trees are independent, so every settled value is bit-identical
+        to the unposted path.
+
+        Returns True when something was posted; ``push(1)`` has nothing
+        postable (its only pair involves the yet-unwritten new column).
+        """
+        if self.backend is None:
+            raise ConfigurationError("call start() before post_push()")
+        expected = 1 if self._pending is None else self._pending + 1
+        if j != expected:
+            raise ConfigurationError(
+                f"post_push({j}) out of order; expected push({expected})")
+        if self._posted is not None:
+            raise ConfigurationError(
+                f"push({self._posted_for}) partial already posted")
+        if self._pending is None:
+            return False
+        settled = self._pending
+        qm = self.backend.view(self.basis, slice(0, settled))
+        qp = self.backend.view(self.basis, slice(settled, settled + 1))
+        self._posted = self.backend.post_fused_dots([(qm, qp), (qp, qp)])
+        self._posted_for = j
+        return True
+
     def push(self, j: int) -> np.ndarray | None:
         """Process raw column ``j``; settle column ``j-1`` if pending.
 
-        One fused reduction.  Returns the settled column's R column, or
+        One fused reduction (two when :meth:`post_push` split off the
+        settle-side half).  Returns the settled column's R column, or
         ``None`` on the first push (column 0 settled in :meth:`start`).
         """
         backend, basis = self.backend, self.basis
@@ -101,8 +138,16 @@ class DCGS2Orthogonalizer:
         settled = self._pending  # count of settled columns = pending index
         qm = backend.view(basis, slice(0, settled))
         qp = backend.view(basis, slice(settled, settled + 1))
-        z_m, pw_m, qq_m, qw_m = backend.fused_dots(
-            [(qm, qp), (qm, w), (qp, qp), (qp, w)])              # sync
+        if self._posted is not None:
+            # overlapped path: the settle-side pairs were posted before
+            # the operator application; only the w pairs sync here
+            z_m, qq_m = backend.wait_fused_dots(self._posted)    # wait
+            self._posted = None
+            self._posted_for = None
+            pw_m, qw_m = backend.fused_dots([(qm, w), (qp, w)])  # sync
+        else:
+            z_m, pw_m, qq_m, qw_m = backend.fused_dots(
+                [(qm, qp), (qm, w), (qp, qp), (qp, w)])          # sync
         z = z_m[:, 0]
         pw = pw_m[:, 0]
         qq = float(qq_m[0, 0])
@@ -154,7 +199,14 @@ class DCGS2Orthogonalizer:
         settled = self._pending
         qm = backend.view(basis, slice(0, settled))
         qp = backend.view(basis, slice(settled, settled + 1))
-        z_m, g = backend.fused_dots([(qm, qp), (qp, qp)])        # sync
+        if self._posted is not None:
+            # a posted partial for an aborted push covers exactly these
+            # pairs (the settled columns have not changed since)
+            z_m, g = backend.wait_fused_dots(self._posted)       # wait
+            self._posted = None
+            self._posted_for = None
+        else:
+            z_m, g = backend.fused_dots([(qm, qp), (qp, qp)])    # sync
         z = z_m[:, 0]
         alpha_sq = float(g[0, 0]) - float(z @ z)
         r = np.zeros(settled + 1)

@@ -3,8 +3,11 @@
 Everything the solvers, schemes, and distributed kernels ask of a
 communicator is written down here as one explicit protocol — the
 communication surface the simulator grew implicitly: tree-ordered global
-reductions (plain, fused, stacked, and double-double), neighbourhood
-(halo) exchange accounting, concurrent-kernel charging, shard storage
+reductions (plain, fused, stacked, and double-double), their nonblocking
+``post_*``/``wait`` counterparts (iallreduce, ihalo, ibcast — posted
+collectives whose modeled time subsequent compute charges drain, so the
+wait charges only the exposed remainder), neighbourhood (halo) exchange
+accounting, broadcasts, concurrent-kernel charging, shard storage
 allocation, and an optional backend-executed SpMV hook.
 
 Two backends implement it:
@@ -20,7 +23,10 @@ Two backends implement it:
     order, so results are bit-identical to ``"sim"`` on the same problem.
     Its tracer records **measured** wall-clock per phase, and a modeled
     twin (:attr:`MpComm.modeled`) charges the exact SimComm formulas so
-    one run yields predicted *and* measured numbers.
+    one run yields predicted *and* measured numbers.  Posted reductions
+    map onto genuinely asynchronous worker-side progress: the post
+    scatters and dispatches the fold without collecting acknowledgements,
+    the wait collects them — driver time between the two is real overlap.
 
 Solver code never branches on the backend: construct via
 :func:`make_comm` (or ``Simulation(..., backend=...)``) and the identical
@@ -34,6 +40,7 @@ from typing import TYPE_CHECKING, Protocol, runtime_checkable
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.parallel.communicator import CommRequest
 from repro.parallel.costmodel import CostModel
 from repro.parallel.machine import MachineSpec, summit
 from repro.parallel.tracing import Tracer
@@ -81,6 +88,29 @@ class Communicator(Protocol):
 
     def allreduce_dd(self, his: list[np.ndarray], los: list[np.ndarray]
                      ) -> tuple[np.ndarray, np.ndarray]: ...
+
+    def bcast(self, value, root: int = 0): ...
+
+    # -- nonblocking collectives (overlap windows) --------------------
+    # post_* returns a CommRequest; compute charged between post and
+    # wait drains the request's modeled cost, and wait(request) charges
+    # only the exposed remainder (tagged with overlapped_seconds).
+    # Results are bit-identical to the blocking counterparts.
+    def post_iallreduce_sum(self, shards: list[np.ndarray]
+                            ) -> CommRequest: ...
+
+    def post_ifused_allreduce_sum(self, shard_groups: list[list[np.ndarray]]
+                                  ) -> CommRequest: ...
+
+    def post_ifused_allreduce_sum_stacked(self, stacks: list[np.ndarray]
+                                          ) -> CommRequest: ...
+
+    def post_ihalo(self, recv_bytes_by_rank: list[dict[int, float]]
+                   ) -> CommRequest: ...
+
+    def post_ibcast(self, value, root: int = 0) -> CommRequest: ...
+
+    def wait(self, request: CommRequest): ...
 
     # -- local-kernel and neighbourhood accounting --------------------
     def charge_local(self, kernel: str, per_rank_seconds: list[float],

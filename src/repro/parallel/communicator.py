@@ -11,6 +11,21 @@ Why tree order matters: orthogonality-error experiments are sensitive to
 the summation order of Gram-matrix contributions.  ``sum(shards)`` in rank
 order would be a *different* algorithm than MPI's pairwise trees; we fold
 halves exactly like recursive doubling.
+
+Nonblocking collectives (overlap windows)
+-----------------------------------------
+``post_iallreduce_sum`` / ``post_ifused_allreduce_sum[_stacked]`` /
+``post_ihalo`` / ``post_ibcast`` return a :class:`CommRequest` instead of
+charging immediately.  The request carries the collective's full modeled
+cost; every charge issued between post and :meth:`SimComm.wait` *drains*
+in-flight requests front-to-back (FIFO — the serialized-NIC picture of
+LogGP overlap), and the wait charges only the exposed remainder, passing
+the hidden part to the tracer as ``overlapped_seconds``.  Values are
+computed eagerly at post time in the same tree order as the blocking
+calls, so a posted reduction is **bit-identical** to its blocking
+counterpart — only the charge choreography differs.  Collective *counts*
+are unchanged: the wait charges exactly one collective (possibly of zero
+exposed seconds), never the post.
 """
 
 from __future__ import annotations
@@ -23,6 +38,40 @@ from repro.exceptions import CommunicatorError
 from repro.parallel.costmodel import CostModel
 from repro.parallel.machine import MachineSpec
 from repro.parallel.tracing import Tracer
+
+
+class CommRequest:
+    """Handle for one posted (nonblocking) collective.
+
+    Created by the ``post_*`` methods and settled by
+    :meth:`SimComm.wait`, which returns the collective's result.  The
+    modeled state is the LogGP overlap window: ``remaining`` counts down
+    as compute charges drain it, ``hidden`` accumulates what was
+    drained, and the wait charges ``remaining`` as the exposed part.
+    Each request must be waited exactly once, on the communicator that
+    created it.
+    """
+
+    def __init__(self, comm: "SimComm", kernel: str, seconds: float,
+                 payload_bytes: float | None, result) -> None:
+        self.comm = comm
+        self.kernel = kernel
+        #: Full modeled cost of the collective at post time.
+        self.seconds = float(seconds)
+        #: Modeled seconds still in flight (drained toward zero).
+        self.remaining = float(seconds)
+        #: Modeled seconds hidden behind compute so far.
+        self.hidden = 0.0
+        self.payload_bytes = payload_bytes
+        #: Modeled clock at post time (for the overlap-window span).
+        self.posted_at = 0.0
+        self.result = result
+        self.done = False
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else "in-flight"
+        return (f"CommRequest({self.kernel!r}, seconds={self.seconds:.3e}, "
+                f"hidden={self.hidden:.3e}, {state})")
 
 
 class SimComm:
@@ -60,9 +109,21 @@ class SimComm:
         self.tracer = tracer if tracer is not None else Tracer()
         self.cost = CostModel(machine)
         self.engine = None if engine is None else config.validate_engine(engine)
+        #: Posted-but-unwaited collectives, oldest first (FIFO drain).
+        self._inflight: list[CommRequest] = []
+
+    def _model_tracer(self) -> Tracer:
+        """The tracer carrying *modeled* charges.
+
+        ``self.tracer`` here; the mp backend overrides this to its
+        modeled twin (its own ``tracer`` runs on the measured clock).
+        """
+        return self.tracer
 
     def _charge(self, kernel: str, seconds: float, count: int = 1,
-                payload_bytes: float | None = None) -> None:
+                payload_bytes: float | None = None, *,
+                overlapped_seconds: float | None = None,
+                drain: bool = True) -> None:
         """Record one modeled charge.
 
         Every cost this class computes funnels through here so subclasses
@@ -70,9 +131,145 @@ class SimComm:
         modeled twin while ``self.tracer`` accumulates wall clock).
         ``payload_bytes`` annotates collective charges for the span
         stream; it never affects the charged seconds.
+
+        While posted collectives are in flight, the charged seconds first
+        drain them front-to-back (``drain=False`` is reserved for the
+        exposed-remainder charge of :meth:`wait` itself — under the
+        serialized-NIC FIFO model, time spent finishing the head request
+        on the wire cannot progress the ones queued behind it).
         """
+        if drain and self._inflight and seconds > 0.0:
+            self._drain_inflight(seconds)
         self.tracer.add(kernel, seconds, count=count,
-                        payload_bytes=payload_bytes)
+                        payload_bytes=payload_bytes,
+                        overlapped_seconds=overlapped_seconds)
+
+    def _drain_inflight(self, seconds: float) -> None:
+        """Let ``seconds`` of elapsing work hide in-flight comm (FIFO)."""
+        budget = seconds
+        for req in self._inflight:
+            if budget <= 0.0:
+                break
+            take = min(req.remaining, budget)
+            if take > 0.0:
+                req.remaining -= take
+                req.hidden += take
+                budget -= take
+
+    # -- nonblocking collectives ----------------------------------------
+    def _post(self, kernel: str, seconds: float,
+              payload_bytes: float | None, result) -> CommRequest:
+        """Register a posted collective: no charge now, a request handle
+        whose modeled cost subsequent compute charges drain."""
+        req = CommRequest(self, kernel, seconds, payload_bytes, result)
+        tr = self._model_tracer()
+        req.posted_at = tr.clock
+        self._inflight.append(req)
+        if tr.spans_enabled:
+            # zero-duration marker: where the collective went on the wire
+            tr.record_span(kernel, tr.clock, tr.clock, cat="post",
+                           payload_bytes=payload_bytes)
+        return req
+
+    def post_iallreduce_sum(self, shards: list[np.ndarray]) -> CommRequest:
+        """Nonblocking :meth:`allreduce_sum` — post now, settle with
+        :meth:`wait`.
+
+        The reduction itself runs eagerly (same tree order, bit-identical
+        result); only the charge is deferred into the overlap window.
+        """
+        self._check_contributions(shards)
+        result = self._tree_sum(shards)
+        payload = self._payload_bytes(result, shards[0])
+        return self._post("allreduce", self.cost.allreduce(payload, self.size),
+                          payload, result)
+
+    def post_ifused_allreduce_sum(self, shard_groups: list[list[np.ndarray]]
+                                  ) -> CommRequest:
+        """Nonblocking :meth:`fused_allreduce_sum` (one posted message).
+
+        Empty groups post a zero-cost request (the blocking call charges
+        nothing for them either)."""
+        if not shard_groups:
+            return self._post("allreduce", 0.0, 0.0, [])
+        results = []
+        payload = 0.0
+        for shards in shard_groups:
+            self._check_contributions(shards)
+            red = self._tree_sum(shards)
+            payload += self._payload_bytes(red, shards[0])
+            results.append(red)
+        return self._post("allreduce", self.cost.allreduce(payload, self.size),
+                          payload, results)
+
+    def post_ifused_allreduce_sum_stacked(self, stacks: list[np.ndarray]
+                                          ) -> CommRequest:
+        """Nonblocking :meth:`fused_allreduce_sum_stacked`."""
+        if not stacks:
+            return self._post("allreduce", 0.0, 0.0, [])
+        results = []
+        payload = 0.0
+        for stack in stacks:
+            self._check_stack(stack)
+            red = self._tree_sum_stacked(stack)
+            payload += self._payload_bytes(red, stack)
+            results.append(red)
+        return self._post("allreduce", self.cost.allreduce(payload, self.size),
+                          payload, results)
+
+    def post_ihalo(self, recv_bytes_by_rank: list[dict[int, float]]
+                   ) -> CommRequest:
+        """Nonblocking :meth:`charge_halo` — the PA2 deep-ring exchange
+        posts through here and hides behind the first local SpMVs."""
+        if len(recv_bytes_by_rank) != self.size:
+            raise CommunicatorError(
+                f"expected {self.size} halo descriptors, got "
+                f"{len(recv_bytes_by_rank)}")
+        worst = max(
+            self.cost.halo_exchange(recv, rank, self.size)
+            for rank, recv in enumerate(recv_bytes_by_rank)
+        )
+        return self._post("halo", worst,
+                          self._halo_payload(recv_bytes_by_rank), None)
+
+    def post_ibcast(self, value, root: int = 0) -> CommRequest:
+        """Nonblocking :meth:`bcast` of a replicated array from ``root``."""
+        if not 0 <= root < self.size:
+            raise CommunicatorError(
+                f"bcast root {root} out of range for size {self.size}")
+        payload = float(np.asarray(value).nbytes)
+        return self._post("bcast", self.cost.bcast(payload, self.size),
+                          payload, value)
+
+    def wait(self, request: CommRequest):
+        """Settle a posted collective and return its result.
+
+        Charges the *exposed* remainder (whatever compute did not drain),
+        annotated with the hidden part as ``overlapped_seconds``; counts
+        as exactly one collective either way.  Waiting before any compute
+        charges the full modeled cost — identical to the blocking call.
+        """
+        if request.done:
+            raise CommunicatorError(
+                f"wait() called twice on {request!r}")
+        if request.comm is not self:
+            raise CommunicatorError(
+                "wait() on a request posted by a different communicator")
+        self._inflight.remove(request)
+        request.done = True
+        exposed = request.remaining
+        request.remaining = 0.0
+        tr = self._model_tracer()
+        if tr.spans_enabled and tr.clock > request.posted_at:
+            # the overlap window: post to wait-start on the modeled clock
+            tr.record_span(request.kernel, request.posted_at, tr.clock,
+                           cat="comm_overlap",
+                           payload_bytes=request.payload_bytes)
+        self._charge(request.kernel, exposed,
+                     payload_bytes=request.payload_bytes,
+                     overlapped_seconds=request.hidden or None,
+                     drain=False)
+        return request.result
 
     # ------------------------------------------------------------------
     def _check_contributions(self, shards: list[np.ndarray]) -> None:
@@ -243,6 +440,21 @@ class SimComm:
         )
         self._charge("halo", worst,
                      payload_bytes=self._halo_payload(recv_bytes_by_rank))
+
+    def bcast(self, value, root: int = 0):
+        """Broadcast a replicated array from ``root`` (blocking).
+
+        The simulator keeps small replicated data driver-side, so the
+        value passes through unchanged; the charge is the one-way tree
+        fan-out of :meth:`CostModel.bcast`.
+        """
+        if not 0 <= root < self.size:
+            raise CommunicatorError(
+                f"bcast root {root} out of range for size {self.size}")
+        payload = float(np.asarray(value).nbytes)
+        self._charge("bcast", self.cost.bcast(payload, self.size),
+                     payload_bytes=payload)
+        return value
 
     # ------------------------------------------------------------------
     def allreduce_dd(self, his: list[np.ndarray], los: list[np.ndarray]

@@ -195,6 +195,23 @@ class CostModel:
         t += inter * (m.net_latency_inter + bytes_payload / m.net_bandwidth_inter)
         return t
 
+    def bcast(self, bytes_payload: float, ranks: int) -> float:
+        """Broadcast of ``bytes_payload`` from one root to ``ranks`` devices.
+
+        Same hierarchical tree as :meth:`allreduce` but one-way: a single
+        device sync drains the root's pipeline, then the payload fans out
+        down the intra/inter hop levels.  Half the sync cost of an
+        allreduce because nothing is gathered back.
+        """
+        if ranks <= 1:
+            return 0.0
+        m = self.machine
+        intra, inter = self._tree_hops(ranks)
+        t = m.device_sync_latency
+        t += intra * (m.net_latency_intra + bytes_payload / m.net_bandwidth_intra)
+        t += inter * (m.net_latency_inter + bytes_payload / m.net_bandwidth_inter)
+        return t
+
     def point_to_point(self, bytes_payload: float, same_node: bool) -> float:
         """One message between two ranks."""
         m = self.machine

@@ -22,6 +22,14 @@ Execution model
 * The communication-avoiding MPK's ghost-zone loops stay driver-executed
   (they are already plain NumPy over shared arrays); its wall clock is
   still measured.
+* Posted reductions (``post_*`` / :meth:`MpComm.wait`) are *genuinely*
+  asynchronous: the post scatters into a pooled slab and dispatches the
+  fold **without** collecting acknowledgements, so the workers reduce
+  while the driver computes; the wait matches token-tagged acks
+  (stashing any that belong to other outstanding commands) and unpacks
+  slot 0.  Real wall time between post and wait is recorded as the
+  measured ``overlapped_seconds``, while the modeled twin drains the
+  same overlap window as the sim backend — results stay bit-identical.
 
 Measurement model (the planner/executor split)
 ----------------------------------------------
@@ -76,6 +84,17 @@ def _reduce_schedule(size: int) -> list[list[tuple[int, int]]]:
     return levels
 
 
+def _split_rows(row: np.ndarray, shapes: list[tuple]) -> list[np.ndarray]:
+    """Slice one reduced flat row back into per-group result arrays."""
+    results = []
+    offset = 0
+    for shape in shapes:
+        m = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        results.append(row[offset:offset + m].reshape(shape))
+        offset += m
+    return results
+
+
 def _attach_silent(name: str) -> SharedMemory:
     """Attach a segment created by the driver without tracking it.
 
@@ -117,6 +136,13 @@ def _worker_main(rank: int, size: int, conn, barrier, timeout: float) -> None:
 
     segments: dict[str, SharedMemory] = {}
     matrices: dict[int, "sp.csr_matrix"] = {}
+
+    def send(ack: dict) -> None:
+        # echo the command token so the driver can match this ack to an
+        # outstanding (possibly posted/asynchronous) command
+        ack["tok"] = cmd.get("tok")
+        conn.send(ack)
+
     while True:
         try:
             cmd = conn.recv()
@@ -125,13 +151,13 @@ def _worker_main(rank: int, size: int, conn, barrier, timeout: float) -> None:
         op = cmd.get("op")
         try:
             if op == "exit":
-                conn.send({"ok": True})
+                send({"ok": True})
                 break
             if op == "matrix":
                 matrices[cmd["token"]] = sp.csr_matrix(
                     (cmd["data"], cmd["indices"], cmd["indptr"]),
                     shape=cmd["shape"])
-                conn.send({"ok": True})
+                send({"ok": True})
             elif op == "reduce":
                 shm = segments.get(cmd["arena"])
                 if shm is None:
@@ -155,7 +181,7 @@ def _worker_main(rank: int, size: int, conn, barrier, timeout: float) -> None:
                         else:
                             arena[a, :n] += arena[b, :n]
                     barrier.wait(timeout)
-                conn.send({"ok": True})
+                send({"ok": True})
             elif op == "spmv":
                 t0 = time.perf_counter()
                 x = _view(segments, cmd["x"])
@@ -171,11 +197,11 @@ def _worker_main(rank: int, size: int, conn, barrier, timeout: float) -> None:
                     y = quantize(y, cmd["storage"])
                 out[rank, :, 0] = y
                 t2 = time.perf_counter()
-                conn.send({"ok": True, "gather": t1 - t0, "compute": t2 - t1})
+                send({"ok": True, "gather": t1 - t0, "compute": t2 - t1})
             else:
-                conn.send({"ok": False, "error": f"unknown op {op!r}"})
+                send({"ok": False, "error": f"unknown op {op!r}"})
         except Exception:
-            conn.send({"ok": False, "error": traceback.format_exc()})
+            send({"ok": False, "error": traceback.format_exc()})
     for shm in segments.values():
         try:
             shm.close()
@@ -249,6 +275,13 @@ class MpComm(SimComm):
         self._arena: SharedMemory | None = None
         self._arena_np: np.ndarray | None = None
         self._arena_cap = 0
+        # token-tagged ack plumbing: posted reductions leave their acks
+        # in the pipes; any later recv stashes mismatched tokens here
+        self._tok = 0
+        self._ack_stash: list[dict] = [dict() for _ in range(self.size)]
+        # slab pool for posted reductions (the main arena may be busy
+        # with a blocking collective inside an overlap window)
+        self._slab_pool: list[tuple[SharedMemory, np.ndarray, int]] = []
         self._pending: dict[str, float] = {}
         self._matrix_tokens: dict[int, int] = {}
         self._matrix_keep: list = []
@@ -268,11 +301,21 @@ class MpComm(SimComm):
         self._mark = time.perf_counter()
 
     # -- measured-time bookkeeping -------------------------------------
+    def _model_tracer(self):
+        # modeled charges (and overlap-window spans) land on the twin
+        return self.modeled
+
     def _charge(self, kernel: str, seconds: float, count: int = 1,
-                payload_bytes: float | None = None) -> None:
-        # the inherited SimComm cost formulas land on the modeled twin
+                payload_bytes: float | None = None, *,
+                overlapped_seconds: float | None = None,
+                drain: bool = True) -> None:
+        # the inherited SimComm cost formulas land on the modeled twin;
+        # modeled overlap windows drain exactly as on the sim backend
+        if drain and self._inflight and seconds > 0.0:
+            self._drain_inflight(seconds)
         self.modeled.add(kernel, seconds, count=count,
-                         payload_bytes=payload_bytes)
+                         payload_bytes=payload_bytes,
+                         overlapped_seconds=overlapped_seconds)
 
     def mark(self) -> None:
         """Reset the wall-clock attribution mark (drop setup time)."""
@@ -289,17 +332,43 @@ class MpComm(SimComm):
         if self._closed:
             raise CommunicatorError("MpComm is closed")
 
-    def _roundtrip(self, cmd: dict) -> list[dict]:
+    def _next_tok(self) -> int:
+        self._tok += 1
+        return self._tok
+
+    def _send_all(self, cmd: dict) -> int:
+        """Dispatch one token-stamped command to every worker WITHOUT
+        collecting acknowledgements (the asynchronous half of a posted
+        collective).  Per-pipe FIFO keeps command order — and hence the
+        shared barrier sequence — identical on every worker."""
         self._require_open()
+        tok = self._next_tok()
+        stamped = dict(cmd, tok=tok)
         for conn in self._conns:
-            conn.send(cmd)
-        acks = []
-        for r, conn in enumerate(self._conns):
-            if not conn.poll(self._timeout):
+            conn.send(stamped)
+        return tok
+
+    def _recv_ack(self, rank: int, tok: int, opname: str) -> dict:
+        """Receive rank's ack for ``tok``, stashing out-of-order acks
+        that belong to other outstanding (posted) commands."""
+        stash = self._ack_stash[rank]
+        if tok in stash:
+            return stash.pop(tok)
+        conn = self._conns[rank]
+        deadline = time.perf_counter() + self._timeout
+        while True:
+            budget = deadline - time.perf_counter()
+            if budget <= 0.0 or not conn.poll(budget):
                 raise CommunicatorError(
-                    f"rank {r} did not answer {cmd.get('op')!r} within "
+                    f"rank {rank} did not answer {opname!r} within "
                     f"{self._timeout}s")
-            acks.append(conn.recv())
+            ack = conn.recv()
+            if ack.get("tok") == tok:
+                return ack
+            stash[ack.get("tok")] = ack
+
+    def _collect(self, tok: int, opname: str) -> list[dict]:
+        acks = [self._recv_ack(r, tok, opname) for r in range(self.size)]
         errors = [(r, a["error"]) for r, a in enumerate(acks)
                   if not a.get("ok")]
         if errors:
@@ -309,8 +378,11 @@ class MpComm(SimComm):
                 pass
             rank, err = errors[0]
             raise CommunicatorError(
-                f"rank {rank} failed {cmd.get('op')!r}:\n{err}")
+                f"rank {rank} failed {opname!r}:\n{err}")
         return acks
+
+    def _roundtrip(self, cmd: dict) -> list[dict]:
+        return self._collect(self._send_all(cmd), cmd.get("op"))
 
     # -- reductions on the workers -------------------------------------
     def _ensure_arena(self, elems: int) -> None:
@@ -338,6 +410,129 @@ class MpComm(SimComm):
                          "cap": self._arena_cap, "elems": n,
                          "levels": self._schedule, "mode": mode})
         return self._arena_np[0, :n].copy()
+
+    # -- posted (asynchronous) reductions ------------------------------
+    def _acquire_slab(self, elems: int) -> tuple[SharedMemory, np.ndarray, int]:
+        """A ``(size, cap)`` float64 scratch arena for one posted
+        reduction.  Pooled separately from the main ``_arena`` because a
+        blocking collective may run inside the overlap window and must
+        not clobber the slots the workers are still folding."""
+        needed = int(elems)
+        for i, slab in enumerate(self._slab_pool):
+            if slab[2] >= needed:
+                return self._slab_pool.pop(i)
+        cap = max(_MIN_ARENA_ELEMS, needed)
+        shm = SharedMemory(create=True, size=self.size * cap * 8)
+        self._shms.append(shm)
+        view = np.ndarray((self.size, cap), dtype=np.float64, buffer=shm.buf)
+        return (shm, view, cap)
+
+    def _release_slab(self, slab: tuple[SharedMemory, np.ndarray, int]
+                      ) -> None:
+        self._slab_pool.append(slab)
+
+    def _post(self, kernel, seconds, payload_bytes, result):
+        req = super()._post(kernel, seconds, payload_bytes, result)
+        # park driver setup time (scatter + dispatch) for the wait's
+        # measured charge, and stamp the start of the real overlap window
+        req._measured_setup = self._take_elapsed()
+        req._posted_wall = time.perf_counter()
+        return req
+
+    def _post_reduce_flat(self, flats: list[np.ndarray], payload: float,
+                          unpack):
+        """Scatter into a pooled slab and dispatch the fold WITHOUT
+        collecting acks — the workers reduce while the driver computes.
+        ``unpack`` maps the reduced slot-0 row to the caller's result."""
+        self._require_open()
+        n = int(flats[0].size)
+        slab = self._acquire_slab(n)
+        shm, view, _cap = slab
+        for r, flat in enumerate(flats):
+            view[r, :n] = flat  # casts to float64, like _tree_sum
+        tok = self._send_all({"op": "reduce", "arena": shm.name,
+                              "cap": slab[2], "elems": n,
+                              "levels": self._schedule, "mode": "sum"})
+        req = self._post("allreduce",
+                         self.cost.allreduce(payload, self.size),
+                         payload, None)
+        req._mp = (tok, slab, n, unpack)
+        return req
+
+    def post_iallreduce_sum(self, shards):
+        self._check_contributions(shards)
+        arrs = [np.asarray(s) for s in shards]
+        shape = arrs[0].shape
+        payload = float(arrs[0].size * arrs[0].dtype.itemsize)
+        return self._post_reduce_flat(
+            [a.ravel() for a in arrs], payload,
+            lambda row: row.reshape(shape))
+
+    def post_ifused_allreduce_sum(self, shard_groups):
+        if not shard_groups:
+            return super().post_ifused_allreduce_sum(shard_groups)
+        groups = [[np.asarray(s) for s in shards]
+                  for shards in shard_groups]
+        for shards in groups:
+            self._check_contributions(shards)
+        flats = [np.concatenate([g[r].ravel().astype(np.float64)
+                                 for g in groups])
+                 for r in range(self.size)]
+        shapes = [g[0].shape for g in groups]
+        payload = float(sum(
+            (int(np.prod(sh, dtype=np.int64)) if sh else 1)
+            * g[0].dtype.itemsize for sh, g in zip(shapes, groups)))
+        return self._post_reduce_flat(flats, payload,
+                                      lambda row: _split_rows(row, shapes))
+
+    def post_ifused_allreduce_sum_stacked(self, stacks):
+        if not stacks:
+            return super().post_ifused_allreduce_sum_stacked(stacks)
+        stacks = [np.asarray(s) for s in stacks]
+        for stack in stacks:
+            self._check_stack(stack)
+        flats = [np.concatenate([s[r].ravel().astype(np.float64)
+                                 for s in stacks])
+                 for r in range(self.size)]
+        shapes = [s.shape[1:] for s in stacks]
+        payload = float(sum(
+            (int(np.prod(sh, dtype=np.int64)) if sh else 1)
+            * s.dtype.itemsize for sh, s in zip(shapes, stacks)))
+        return self._post_reduce_flat(flats, payload,
+                                      lambda row: _split_rows(row, shapes))
+
+    def wait(self, request):
+        """Settle a posted collective: collect the workers' token-tagged
+        acks, unpack slot 0, and charge both streams.
+
+        Measured: the parked setup time plus the collect wait, with the
+        real wall clock elapsed since the post recorded as
+        ``overlapped_seconds``.  Modeled: delegated to the inherited
+        drain accounting, so ``modeled`` stays bit-identical to a
+        ``backend="sim"`` run.
+        """
+        if request.done:
+            raise CommunicatorError(f"wait() called twice on {request!r}")
+        if request.comm is not self:
+            raise CommunicatorError(
+                "wait() on a request posted by a different communicator")
+        hidden_wall = max(
+            0.0, time.perf_counter() - getattr(request, "_posted_wall",
+                                               time.perf_counter()))
+        mp_state = getattr(request, "_mp", None)
+        if mp_state is not None:
+            tok, slab, n, unpack = mp_state
+            self._collect(tok, "reduce")
+            request.result = unpack(slab[1][0, :n].copy())
+            self._release_slab(slab)
+            del request._mp
+        result = super().wait(request)
+        self.tracer.add(request.kernel,
+                        getattr(request, "_measured_setup", 0.0)
+                        + self._take_elapsed(),
+                        payload_bytes=request.payload_bytes,
+                        overlapped_seconds=hidden_wall or None)
+        return result
 
     # -- Communicator reductions ---------------------------------------
     def allreduce_sum(self, shards: list[np.ndarray]) -> np.ndarray:
@@ -504,20 +699,13 @@ class MpComm(SimComm):
         token = self._matrix_tokens.get(id(matrix))
         if token is None:
             token = len(self._matrix_keep)
+            tok = self._next_tok()  # per-rank payloads, one shared token
             for r, conn in enumerate(self._conns):
                 block = matrix.local_blocks[r].tocsr()
-                conn.send({"op": "matrix", "token": token,
+                conn.send({"op": "matrix", "token": token, "tok": tok,
                            "data": block.data, "indices": block.indices,
                            "indptr": block.indptr, "shape": block.shape})
-            for r, conn in enumerate(self._conns):
-                if not conn.poll(self._timeout):
-                    raise CommunicatorError(
-                        f"rank {r} did not accept matrix within "
-                        f"{self._timeout}s")
-                ack = conn.recv()
-                if not ack.get("ok"):
-                    raise CommunicatorError(
-                        f"rank {r} rejected matrix:\n{ack.get('error')}")
+            self._collect(tok, "matrix")
             self._matrix_tokens[id(matrix)] = token
             self._matrix_keep.append(matrix)  # pins id() for the cache
         return token

@@ -32,6 +32,17 @@ Spans are **disabled by default** and the disabled path is a no-op: one
 :meth:`Tracer.enable_spans` (or ``Simulation(..., spans=True)``) to
 record them.
 
+Overlap dimension (nonblocking collectives)
+-------------------------------------------
+When a communicator posts a collective (``post_iallreduce`` & co.), the
+compute charged between post and wait drains the collective's modeled
+time, and the ``wait`` charges only the exposed remainder — passing the
+hidden part as ``overlapped_seconds``.  That hidden time accumulates in
+:attr:`Tracer.overlapped` (per phase/kernel, queryable via
+:meth:`Tracer.overlapped_seconds`) and is stamped onto the wait's
+:class:`SpanEvent`, so Perfetto can show hidden vs exposed comm without
+the clock ever double-counting.
+
 The tracer is deliberately not thread-safe: the simulator executes ranks
 in lockstep inside one Python thread, charging the *maximum* cost across
 concurrently-executing ranks (see :mod:`repro.distla.blas`).
@@ -98,6 +109,10 @@ class SpanEvent:
     payload_bytes: float | None = None
     cycle: int | None = None
     rank: int | None = None
+    #: For the exposed-remainder charge of a posted collective: how many
+    #: seconds of the collective were hidden behind compute before the
+    #: wait (``None`` for ordinary blocking charges).
+    overlapped_seconds: float | None = None
 
     @property
     def duration(self) -> float:
@@ -110,6 +125,7 @@ class SpanEvent:
             "phase": self.phase, "stream": self.stream, "cat": self.cat,
             "count": self.count, "payload_bytes": self.payload_bytes,
             "cycle": self.cycle, "rank": self.rank,
+            "overlapped_seconds": self.overlapped_seconds,
         }
 
     @classmethod
@@ -120,7 +136,8 @@ class SpanEvent:
                    cat=doc.get("cat", "kernel"),
                    count=int(doc.get("count", 1)),
                    payload_bytes=doc.get("payload_bytes"),
-                   cycle=doc.get("cycle"), rank=doc.get("rank"))
+                   cycle=doc.get("cycle"), rank=doc.get("rank"),
+                   overlapped_seconds=doc.get("overlapped_seconds"))
 
 
 def _key_str(key: tuple[str, str]) -> str:
@@ -136,6 +153,10 @@ class TraceTotals:
     by_phase: dict[str, float]
     by_kernel: dict[tuple[str, str], float]
     counts: dict[tuple[str, str], int]
+    #: Hidden comm seconds per (phase, kernel): the part of each posted
+    #: collective that compute drained before its ``wait`` (empty for
+    #: purely blocking runs).
+    overlapped: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         """JSON-safe document: tuple keys flattened to ``"phase/kernel"``.
@@ -149,6 +170,8 @@ class TraceTotals:
             "by_kernel": {_key_str(k): float(v)
                           for k, v in self.by_kernel.items()},
             "counts": {_key_str(k): int(c) for k, c in self.counts.items()},
+            "overlapped": {_key_str(k): float(v)
+                           for k, v in self.overlapped.items()},
         }
 
 
@@ -167,6 +190,7 @@ class Tracer:
     by_phase: dict = field(default_factory=lambda: defaultdict(float))
     by_kernel: dict = field(default_factory=lambda: defaultdict(float))
     counts: dict = field(default_factory=lambda: defaultdict(int))
+    overlapped: dict = field(default_factory=lambda: defaultdict(float))
     stream: str = "modeled"
     _phase_stack: list = field(default_factory=lambda: ["other"])
     _cycle: list = field(default_factory=lambda: [None])
@@ -219,12 +243,20 @@ class Tracer:
                     cycle=self._cycle[0]))
 
     def add(self, kernel: str, seconds: float, count: int = 1,
-            payload_bytes: float | None = None) -> None:
+            payload_bytes: float | None = None,
+            overlapped_seconds: float | None = None) -> None:
         """Advance the clock by ``seconds``, attributed to ``kernel``.
 
         ``payload_bytes`` optionally records the wire payload of a
         collective; it only lands in the span stream (accumulator
         behaviour is unchanged whether or not it is passed).
+
+        ``overlapped_seconds`` marks this charge as the *exposed*
+        remainder of a posted collective and records how much of the
+        collective was hidden behind compute before its ``wait``.  The
+        hidden part never advances the clock (that time already elapsed
+        inside the draining charges); it accumulates in
+        :attr:`overlapped` as a separate dimension.
         """
         if seconds < 0:
             raise ValueError(f"negative cost for kernel {kernel!r}: {seconds}")
@@ -234,10 +266,13 @@ class Tracer:
         self.by_phase[phase] += seconds
         self.by_kernel[(phase, kernel)] += seconds
         self.counts[(phase, kernel)] += count
+        if overlapped_seconds:
+            self.overlapped[(phase, kernel)] += overlapped_seconds
         if self._spans is not None:
             self._spans.append(SpanEvent(
                 kernel, t0, self.clock, phase, self.stream, count=count,
-                payload_bytes=payload_bytes, cycle=self._cycle[0]))
+                payload_bytes=payload_bytes, cycle=self._cycle[0],
+                overlapped_seconds=overlapped_seconds))
 
     # -- span stream ----------------------------------------------------
     def enable_spans(self) -> None:
@@ -281,7 +316,8 @@ class Tracer:
     def snapshot(self) -> TraceTotals:
         """Copy of the accumulators, e.g. to diff around a solver call."""
         return TraceTotals(self.clock, dict(self.by_phase),
-                           dict(self.by_kernel), dict(self.counts))
+                           dict(self.by_kernel), dict(self.counts),
+                           dict(self.overlapped))
 
     def since(self, snap: TraceTotals) -> TraceTotals:
         """Totals accumulated after ``snap`` was taken.
@@ -296,7 +332,10 @@ class Tracer:
                      for k, v in self.by_kernel.items()}
         counts = {k: v - snap.counts.get(k, 0)
                   for k, v in self.counts.items()}
-        return TraceTotals(self.clock - snap.clock, by_phase, by_kernel, counts)
+        overlapped = {k: v - snap.overlapped.get(k, 0.0)
+                      for k, v in self.overlapped.items()}
+        return TraceTotals(self.clock - snap.clock, by_phase, by_kernel,
+                           counts, overlapped)
 
     def reset(self) -> None:
         """Zero accumulators and drop recorded spans (phase stack and
@@ -305,6 +344,7 @@ class Tracer:
         self.by_phase.clear()
         self.by_kernel.clear()
         self.counts.clear()
+        self.overlapped.clear()
         if self._spans is not None:
             self._spans.clear()
 
@@ -317,6 +357,19 @@ class Tracer:
 
     def kernel_count(self, phase: str, kernel: str) -> int:
         return int(self.counts.get((phase, kernel), 0))
+
+    def overlapped_seconds(self, phase: str | None = None,
+                           kernel: str | None = None) -> float:
+        """Total hidden comm seconds, optionally filtered by phase/kernel.
+
+        The sum over :attr:`overlapped` entries — i.e. how much posted
+        collective time compute drained before the matching ``wait``
+        charges landed.  Zero for purely blocking runs.
+        """
+        return float(sum(
+            v for (ph, kern), v in self.overlapped.items()
+            if (phase is None or ph == phase)
+            and (kernel is None or kern == kernel)))
 
     def collective_counts(self, phase: str | None = None) -> dict[str, int]:
         """Call counts of every collective kernel, optionally per phase.
@@ -353,6 +406,10 @@ class Tracer:
     def report(self) -> str:
         """Multi-line human-readable accounting summary."""
         lines = [f"{self.stream} clock: {self.clock:.6f} s"]
+        if self.overlapped:
+            lines.append(
+                f"  hidden comm (overlapped): "
+                f"{self.overlapped_seconds():.6f} s")
         for ph in sorted(self.by_phase, key=lambda p: -self.by_phase[p]):
             lines.append(f"  {ph:<12s} {self.by_phase[ph]:.6f} s")
             kerns = [(k[1], v) for k, v in self.by_kernel.items() if k[0] == ph]

@@ -1,0 +1,79 @@
+"""Smoke-size assertions of the overlap-window trade-off experiment."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.artifacts import load_artifact
+from repro.experiments import overlap_tradeoff
+
+QUICK = dict(nx=32, ranks=8, s=5, restart=15, pipe_nx=32, pipe_restart=10,
+             multipliers=(1.0, 2.0, 4.0), bw_inter=1.0e6)
+
+
+@pytest.fixture(scope="module")
+def outputs():
+    return overlap_tradeoff.run(**QUICK)
+
+
+class TestTable:
+    def test_one_row_per_consumer_and_multiplier(self, outputs):
+        table, _, _ = outputs
+        assert table.column(0) == ["mpk_pa2", "pipelined"] * 3
+
+    def test_exposure_strictly_shrinks_with_latency(self, outputs):
+        """The acceptance claim — also asserted inside run(), but pin it
+        from the artifact so a silent assert removal cannot pass."""
+        _, artifact, _ = outputs
+        fracs = [rec.extra["exposed_frac"] for rec in artifact.benchmarks
+                 if rec.extra["consumer"] == "mpk_pa2"]
+        assert len(fracs) == 3
+        assert all(b < a for a, b in zip(fracs, fracs[1:]))
+        assert fracs[0] > 0.0  # something was actually exposed at L=1
+
+    def test_hidden_seconds_positive_everywhere(self, outputs):
+        _, artifact, _ = outputs
+        for rec in artifact.benchmarks:
+            assert rec.extra["hidden_seconds"] > 0.0
+            assert rec.extra["bit_identical"] is True
+
+    def test_monotonicity_violation_raises(self):
+        """A single multiplier repeated twice cannot strictly decrease."""
+        with pytest.raises(AssertionError, match="strict"):
+            overlap_tradeoff.run(**{**QUICK, "multipliers": (1.0, 1.0)})
+
+
+class TestArtifacts:
+    def test_bench_artifact_round_trips(self, outputs, tmp_path):
+        _, artifact, _ = outputs
+        path = artifact.write(tmp_path / "BENCH_overlap.json")
+        loaded = load_artifact(path)
+        assert loaded.names() == artifact.names()
+        rec = loaded.record("overlap_tradeoff[mpk_pa2,lat1x]")
+        assert rec.extra["latency_multiplier"] == 1.0
+        assert "overlapped" in rec.extra["totals"]
+
+    def test_trace_doc_has_overlap_spans(self, outputs):
+        _, _, trace_doc = outputs
+        cats = {ev.get("cat") for ev in trace_doc["traceEvents"]
+                if ev.get("ph") == "X"}
+        assert "post" in cats
+        assert "comm_overlap" in cats
+        exposed = [ev for ev in trace_doc["traceEvents"]
+                   if ev.get("ph") == "X"
+                   and "overlapped_seconds" in ev.get("args", {})]
+        assert exposed  # the wait charges carry the hidden annotation
+
+    def test_trace_doc_is_json_serializable(self, outputs):
+        _, _, trace_doc = outputs
+        assert json.loads(json.dumps(trace_doc)) == trace_doc
+
+
+def test_cli_quick(tmp_path, capsys):
+    overlap_tradeoff.main(["--quick", "--out", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert "overlap_tradeoff" in out
+    assert (tmp_path / "BENCH_overlap.json").exists()
+    assert (tmp_path / "trace_overlap.json").exists()

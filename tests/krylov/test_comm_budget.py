@@ -6,7 +6,8 @@ orthogonalization scheme — so a future refactor cannot silently add
 latency-bound communication.  The counts are structural, not tuned:
 
 * halo exchanges: 1 (explicit residual check) + one per basis column
-  for the standard MPK, or + one per s-panel for the CA MPK;
+  for the standard MPK, + one per s-panel for the CA MPK, or + two per
+  s-panel for the overlapped CA MPK (eager shell + posted ring);
 * allreduces: 1 (residual norm) + the scheme's per-panel collectives
   (two-stage: one fused stage-1 reduce per panel + one stage-2 pass at
   the cycle end; BCGS-PIP2: two fused reduces per panel — the paper's
@@ -65,13 +66,35 @@ class TestHaloBudget:
             lambda: TwoStageScheme(big_step=RESTART), engine, mpk_mode="ca")
         assert halo == 1 + PANELS
 
-    def test_mpk_mode_does_not_change_allreduce_budget(self):
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_ca_overlap_pays_two_exchanges_per_panel(self, engine):
+        """PA2 splits each panel's exchange in two messages: the eager
+        depth-1 shell plus the posted (waited) deep ring."""
+        halo, _, _ = run_one_cycle(
+            lambda: TwoStageScheme(big_step=RESTART), engine,
+            mpk_mode="ca_overlap")
+        assert halo == 1 + 2 * PANELS
+
+    def test_ca_overlap_hides_ring_time(self):
+        """The posted ring must actually report hidden halo seconds;
+        blocking modes report none."""
+        sim = Simulation(laplace2d(16), ranks=4, machine=generic_cpu())
+        res = sstep_gmres(sim, sim.ones_solution_rhs(), s=S, restart=RESTART,
+                          tol=1e-30, maxiter=RESTART,
+                          scheme=TwoStageScheme(big_step=RESTART),
+                          options=SolverOptions(mpk_mode="ca_overlap"))
+        assert res.restarts == 1
+        assert sim.tracer.overlapped_seconds(kernel="halo") > 0.0
+        assert sim.tracer.overlapped_seconds(kernel="allreduce") == 0.0
+
+    @pytest.mark.parametrize("mode", ["ca", "ca_overlap"])
+    def test_mpk_mode_does_not_change_allreduce_budget(self, mode):
         """CA trades halo latency only — global reductions are the
         ortho schemes' business and must not move."""
         _, std_all, std_ortho = run_one_cycle(
             lambda: TwoStageScheme(big_step=RESTART), "loop")
         _, ca_all, ca_ortho = run_one_cycle(
-            lambda: TwoStageScheme(big_step=RESTART), "loop", mpk_mode="ca")
+            lambda: TwoStageScheme(big_step=RESTART), "loop", mpk_mode=mode)
         assert ca_all == std_all
         assert ca_ortho == std_ortho
 

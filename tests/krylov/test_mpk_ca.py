@@ -174,6 +174,99 @@ class TestDegeneratePaths:
         assert sim.tracer.clock == before
 
 
+class TestOverlappedCA:
+    """PA2 (``"ca_overlap"``): same numerics as ``"ca"``, the deep-ring
+    exchange posted behind the first owned-rows SpMV."""
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("poly", sorted(POLYS))
+    def test_bit_identical_to_ca(self, engine, poly):
+        ca, _ = generate("ca", engine, poly=POLYS[poly]())
+        ov, _ = generate("ca_overlap", engine, poly=POLYS[poly]())
+        np.testing.assert_array_equal(ca, ov)
+
+    def test_two_halo_charges_per_panel(self):
+        """The split exchange: one eager depth-1 charge plus one waited
+        ring per panel (the blocking CA kernel pays one per panel)."""
+        _, tr_ca = generate("ca", "loop", nx=16, ranks=8)
+        _, tr_ov = generate("ca_overlap", "loop", nx=16, ranks=8)
+        assert tr_ca.kernel_count("spmv", "halo") == 2
+        assert tr_ov.kernel_count("spmv", "halo") == 4
+
+    def test_ring_latency_partially_hidden(self):
+        """ca_overlap reports hidden halo seconds; blocking ca none.
+        The hidden part is bounded by what was actually posted."""
+        _, tr_ca = generate("ca", "loop", nx=16, ranks=8)
+        _, tr_ov = generate("ca_overlap", "loop", nx=16, ranks=8)
+        assert tr_ca.overlapped_seconds(kernel="halo") == 0.0
+        hidden = tr_ov.overlapped_seconds(kernel="halo")
+        assert hidden > 0.0
+        # exposed + hidden = the full cost of the two-message split,
+        # which is at least the blocking single-message exchange
+        assert (tr_ov.kernel_seconds("spmv", "halo") + hidden
+                >= tr_ca.kernel_seconds("spmv", "halo"))
+
+    def test_split_spmv_adds_only_launch_overhead(self):
+        """Splitting step 1 into owned + ring charges the same flops and
+        streams; the extra cost per panel is one more kernel launch (the
+        per-call latency/fixed-overhead terms), never more work."""
+        m = generic_cpu()
+        _, tr_ca = generate("ca", "loop", nx=16, ranks=8)
+        _, tr_ov = generate("ca_overlap", "loop", nx=16, ranks=8)
+        ca_s = tr_ca.kernel_seconds("spmv", "spmv_local")
+        ov_s = tr_ov.kernel_seconds("spmv", "spmv_local")
+        assert ov_s >= ca_s
+        per_panel = m.kernel_latency + m.spmv_fixed_overhead
+        assert ov_s - ca_s <= 2 * per_panel + 0.05 * ca_s
+
+    def test_s1_panels_have_no_ring_to_post(self):
+        """Depth-1 panels: the eager shell IS the whole closure, so the
+        posted exchange vanishes and charges match blocking ca exactly."""
+        panels = tuple((k, k + 1) for k in range(1, 7))
+        _, tr_ca = generate("ca", "loop", panels=panels)
+        _, tr_ov = generate("ca_overlap", "loop", panels=panels)
+        assert (tr_ov.kernel_count("spmv", "halo")
+                == tr_ca.kernel_count("spmv", "halo") == 6)
+        assert tr_ov.overlapped_seconds(kernel="halo") == 0.0
+        assert tr_ov.clock == tr_ca.clock
+
+    @pytest.mark.parametrize("pc", [JacobiPreconditioner,
+                                    BlockJacobiPreconditioner])
+    def test_any_preconditioner_rejected(self, pc):
+        """PA2 is stricter than PA1: even closure-compatible
+        preconditioners have no well-defined owned/ring cost split."""
+        sim = Simulation(laplace2d(8), ranks=4, machine=generic_cpu())
+        op = PreconditionedOperator(sim.matrix, pc().setup(sim.matrix))
+        assert op.supports_ca  # fine for plain ca ...
+        with pytest.raises(ConfigurationError, match="ca_overlap|PA2"):
+            MatrixPowersKernel(op, mode="ca_overlap")
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_sstep_gmres_solve_identical(self, engine):
+        results = {}
+        for mode in ("ca", "ca_overlap"):
+            sim = Simulation(laplace2d(16), ranks=4, machine=generic_cpu(),
+                             engine=engine)
+            results[mode] = sstep_gmres(sim, sim.ones_solution_rhs(), s=5,
+                                        restart=20, tol=1e-8, maxiter=2000,
+                                        options=SolverOptions(mpk_mode=mode))
+        ca, ov = results["ca"], results["ca_overlap"]
+        assert ov.converged
+        assert ov.diagnostics["mpk_mode"] == "ca_overlap"
+        np.testing.assert_array_equal(ca.x, ov.x)
+        assert ca.iterations == ov.iterations
+        assert ca.history.residuals == ov.history.residuals
+
+    def test_auto_never_selects_overlap(self):
+        """``"auto"`` picks between standard and ca only; overlap is an
+        explicit opt-in."""
+        sim = Simulation(laplace2d(12), ranks=4, machine=generic_cpu())
+        res = sstep_gmres(sim, sim.ones_solution_rhs(), s=4, restart=12,
+                          tol=1e-8, maxiter=600,
+                          options=SolverOptions(mpk_mode="auto"))
+        assert res.diagnostics["mpk_mode"] == "ca"
+
+
 class TestComposition:
     def test_general_preconditioner_rejected(self):
         sim = Simulation(laplace2d(8), ranks=4, machine=generic_cpu())

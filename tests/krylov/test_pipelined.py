@@ -3,11 +3,15 @@
 from __future__ import annotations
 
 import numpy as np
+import pytest
 
+from repro.exceptions import ConfigurationError
 from repro.krylov.gmres import gmres
+from repro.krylov.options import SolverOptions
 from repro.krylov.pipelined import pipelined_gmres
 from repro.krylov.simulation import Simulation
 from repro.matrices.stencil import convection_diffusion_2d, laplace2d
+from repro.ortho.low_sync import DCGS2Orthogonalizer
 from repro.parallel.machine import generic_cpu, summit
 from repro.precond.jacobi import JacobiPreconditioner
 
@@ -71,6 +75,15 @@ class TestSynchronization:
         assert res.iterations == 20
         assert res.sync_count == 23
 
+    def test_overlap_off_budget_unchanged(self):
+        """``comm_overlap`` defaults off: passing explicit default
+        options must not move the frozen sync budget above."""
+        sim = make_sim(laplace2d(16), ranks=6, machine=summit())
+        b = sim.ones_solution_rhs()
+        res = pipelined_gmres(sim, b, restart=20, tol=1e-30, maxiter=20,
+                              options=SolverOptions())
+        assert res.sync_count == 23
+
     def test_fewer_syncs_and_less_ortho_than_cgs2(self):
         a = laplace2d(20)
         sim1 = make_sim(a, ranks=12, machine=summit())
@@ -80,3 +93,139 @@ class TestSynchronization:
         pipe = pipelined_gmres(sim2, b, restart=30, tol=1e-30, maxiter=30)
         assert pipe.sync_count < std.sync_count / 2
         assert pipe.ortho_time < std.ortho_time
+
+
+class TestCommOverlap:
+    """``SolverOptions(comm_overlap=True)``: the settle-side half of each
+    fused reduction is posted before the operator application."""
+
+    def run_pair(self, a, *, restart=20, tol=1e-9, maxiter=4000, ranks=4,
+                 machine=None):
+        res = {}
+        for overlap in (False, True):
+            sim = make_sim(a, ranks=ranks, machine=machine)
+            b = sim.ones_solution_rhs()
+            res[overlap] = (pipelined_gmres(
+                sim, b, restart=restart, tol=tol, maxiter=maxiter,
+                options=SolverOptions(comm_overlap=overlap)), sim)
+        return res[False], res[True]
+
+    def test_bit_identical_solve(self):
+        """Per-pair reduction trees are independent, so splitting the
+        fused message cannot change a single bit of the solve."""
+        (off, _), (on, _) = self.run_pair(laplace2d(16))
+        assert on.converged
+        assert on.x.tobytes() == off.x.tobytes()
+        assert on.iterations == off.iterations
+        assert on.history.residuals == off.history.residuals
+
+    def test_bit_identical_nonsymmetric(self):
+        (off, _), (on, _) = self.run_pair(convection_diffusion_2d(12),
+                                          restart=25, tol=1e-8)
+        assert on.converged
+        assert on.x.tobytes() == off.x.tobytes()
+
+    def test_splits_one_reduce_into_two(self):
+        """Each overlapped push trades the single 4-pair message for a
+        posted 2-pair + a blocking 2-pair one; push(1) and flush are not
+        postable, the residual norm and start are untouched."""
+        (off, _), (on, _) = self.run_pair(
+            laplace2d(16), restart=20, tol=1e-30, maxiter=20,
+            ranks=6, machine=summit())
+        assert off.sync_count == 23
+        # pushes 2..20 split in two; push(1), flush, start, residual don't
+        assert on.sync_count == 23 + 19
+
+    def test_reports_hidden_allreduce_time(self):
+        (_, sim_off), (_, sim_on) = self.run_pair(
+            laplace2d(16), restart=20, tol=1e-30, maxiter=20,
+            ranks=6, machine=summit())
+        assert sim_off.tracer.overlapped_seconds(kernel="allreduce") == 0.0
+        assert sim_on.tracer.overlapped_seconds(kernel="allreduce") > 0.0
+
+
+class TestPostPushContract:
+    """Order/state errors of the DCGS2 posted-partial protocol."""
+
+    def setup_ortho(self, k=6):
+        sim = make_sim(laplace2d(8))
+        basis = sim.zeros(k)
+        rng = np.random.default_rng(0)
+        v0 = rng.standard_normal(sim.n)
+        basis.view_cols(0).assign_from(sim.vector_from(v0))
+        ortho = DCGS2Orthogonalizer()
+        ortho.start(sim.backend, basis)
+        return sim, basis, ortho
+
+    def fill(self, sim, basis, j):
+        rng = np.random.default_rng(j)
+        basis.view_cols(j).assign_from(
+            sim.vector_from(rng.standard_normal(sim.n)))
+
+    def test_push_one_not_postable(self):
+        _, _, ortho = self.setup_ortho()
+        assert ortho.post_push(1) is False  # nothing settled yet
+
+    def test_post_then_push_consumes_handle(self):
+        sim, basis, ortho = self.setup_ortho()
+        self.fill(sim, basis, 1)
+        ortho.push(1)
+        assert ortho.post_push(2) is True
+        self.fill(sim, basis, 2)
+        ortho.push(2)
+        assert ortho._posted is None  # consumed, not leaked
+
+    def test_double_post_raises(self):
+        sim, basis, ortho = self.setup_ortho()
+        self.fill(sim, basis, 1)
+        ortho.push(1)
+        ortho.post_push(2)
+        with pytest.raises(ConfigurationError, match="already posted"):
+            ortho.post_push(2)
+
+    def test_out_of_order_post_raises(self):
+        sim, basis, ortho = self.setup_ortho()
+        self.fill(sim, basis, 1)
+        ortho.push(1)
+        with pytest.raises(ConfigurationError, match="out of order"):
+            ortho.post_push(5)
+
+    def test_post_before_start_raises(self):
+        ortho = DCGS2Orthogonalizer()
+        with pytest.raises(ConfigurationError, match="start"):
+            ortho.post_push(1)
+
+    def test_flush_consumes_stray_posted_handle(self):
+        """An aborted push leaves a posted partial; flush settles the
+        same pairs from it — values identical to the unposted flush."""
+        sim1, basis1, o1 = self.setup_ortho()
+        sim2, basis2, o2 = self.setup_ortho()
+        for o, sim, basis in ((o1, sim1, basis1), (o2, sim2, basis2)):
+            self.fill(sim, basis, 1)
+            o.push(1)
+        o1.post_push(2)  # ... then the iteration aborts before push(2)
+        r1 = o1.flush()
+        r2 = o2.flush()
+        np.testing.assert_array_equal(r1, r2)
+
+    def test_posted_push_values_bit_identical(self):
+        sim1, basis1, o1 = self.setup_ortho()
+        sim2, basis2, o2 = self.setup_ortho()
+        settled1, settled2 = [], []
+        for j in range(1, 5):
+            self.fill(sim1, basis1, j)
+            self.fill(sim2, basis2, j)
+            o1.post_push(j)
+            r = o1.push(j)
+            settled1.append(None if r is None else r.copy())
+            r = o2.push(j)
+            settled2.append(None if r is None else r.copy())
+        settled1.append(o1.flush())
+        settled2.append(o2.flush())
+        for a, b in zip(settled1, settled2):
+            if a is None:
+                assert b is None
+            else:
+                np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(basis1.to_global(),
+                                      basis2.to_global())

@@ -60,7 +60,7 @@ class TestDataclass:
 
     def test_mode_constants(self):
         assert SOLVE_MODES == ("classical", "sketched", "adaptive")
-        assert MPK_SOLVER_MODES == ("standard", "ca", "auto")
+        assert MPK_SOLVER_MODES == ("standard", "ca", "ca_overlap", "auto")
 
     def test_constants_reexported_from_solver_module(self):
         import importlib

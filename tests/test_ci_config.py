@@ -63,6 +63,20 @@ class TestWorkflow:
         assert "pytest" not in run
         assert "scripts/mp_smoke.py" in run
 
+    def test_tier1_docs_lint_step(self):
+        """The docs linter runs as a standalone non-pytest tier-1 step
+        (the engine-matrix contract keeps a single pytest invocation per
+        leg; dead-link checking needs no test session anyway)."""
+        yaml = pytest.importorskip("yaml")
+        doc = yaml.safe_load(WORKFLOW.read_text())
+        tier1 = doc["jobs"]["tier1"]
+        lint = [step for step in tier1["steps"]
+                if "docs_lint" in step.get("run", "")]
+        assert lint, "tier-1 has no docs lint step"
+        run = lint[0]["run"]
+        assert "pytest" not in run
+        assert "scripts/docs_lint.py" in run
+
     def test_setup_python_uses_pip_cache(self):
         """Every setup-python step caches pip to keep matrix wall-clock
         flat."""
@@ -96,6 +110,14 @@ class TestWorkflow:
         assert "rgs_convergence" in runs
         assert "precision_stability" in runs
         assert "ca_mpk_tradeoff" in runs
+        # the overlap-window trade-off smoke drops BENCH_overlap.json
+        # and trace_overlap.json into the uploaded dir
+        overlap_step = next((s.get("run", "") for s in nightly["steps"]
+                             if "overlap_tradeoff" in s.get("run", "")),
+                            "")
+        assert overlap_step, "nightly has no overlap_tradeoff smoke"
+        assert "--quick" in overlap_step
+        assert "--out experiment-out" in overlap_step
         # predicted-vs-measured validation runs nightly under a hard
         # timeout and drops BENCH_measured.json into the uploaded dir
         assert "backend_validation" in runs
@@ -150,6 +172,7 @@ class TestWorkflow:
         for ref in ("scripts/compare_bench.py",
                     "scripts/mp_smoke.py",
                     "scripts/span_overhead_check.py",
+                    "scripts/docs_lint.py",
                     "benchmarks/bench_kernels.py",
                     "benchmarks/BENCH_kernels.json",
                     "benchmarks/bench_sketch_kernels.py",
@@ -164,6 +187,7 @@ class TestWorkflow:
                     "src/repro/experiments/rgs_convergence.py",
                     "src/repro/experiments/precision_stability.py",
                     "src/repro/experiments/ca_mpk_tradeoff.py",
+                    "src/repro/experiments/overlap_tradeoff.py",
                     "src/repro/experiments/backend_validation.py"):
             path = ref
             if ref.startswith("src/repro/experiments/"):

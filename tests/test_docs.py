@@ -1,0 +1,65 @@
+"""The docs/ site must track the code it documents.
+
+Two structural guards: the experiment catalogue in docs/experiments.md
+must list exactly the runner's registered subcommands (so adding an
+experiment without documenting it — or documenting a renamed one — is
+a tier-1 failure), and every relative link in the markdown pages must
+resolve (same check CI runs standalone via scripts/docs_lint.py).
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DOCS = REPO / "docs"
+PAGES = ("architecture.md", "cost-model.md", "solvers.md",
+         "experiments.md")
+
+
+class TestExperimentsCatalogue:
+    def _documented_names(self) -> set[str]:
+        text = (DOCS / "experiments.md").read_text()
+        return set(re.findall(r"^### `([a-z0-9_]+)`", text, re.MULTILINE))
+
+    def test_catalogue_matches_runner_registry(self):
+        """docs/experiments.md has exactly one ### entry per registered
+        subcommand, plus the synthetic ``all``."""
+        from repro.experiments import runner
+        documented = self._documented_names()
+        registered = set(runner._DISPATCH) | {"all"}
+        missing = registered - documented
+        stale = documented - registered
+        assert not missing, f"undocumented experiments: {sorted(missing)}"
+        assert stale == set(), f"stale docs entries: {sorted(stale)}"
+
+    def test_catalogue_is_nontrivial(self):
+        """Every entry carries prose, not just a heading."""
+        text = (DOCS / "experiments.md").read_text()
+        names = re.findall(r"^### `([a-z0-9_]+)`", text, re.MULTILINE)
+        blocks = re.split(r"^### `[a-z0-9_]+`$", text, flags=re.MULTILINE)
+        assert len(blocks) == len(names) + 1
+        for name, body in zip(names, blocks[1:]):
+            assert len(body.strip()) > 40, f"empty docs entry for {name}"
+
+
+class TestDocsSite:
+    def test_pages_exist(self):
+        for page in PAGES:
+            assert (DOCS / page).is_file(), f"docs/{page} missing"
+
+    def test_readme_links_every_page(self):
+        readme = (REPO / "README.md").read_text()
+        for page in PAGES:
+            assert f"docs/{page}" in readme, (
+                f"README.md does not link docs/{page}")
+
+    def test_docs_lint_passes(self):
+        """The standalone CI linter agrees the links are alive."""
+        proc = subprocess.run(
+            [sys.executable, str(REPO / "scripts" / "docs_lint.py")],
+            capture_output=True, text=True)
+        assert proc.returncode == 0, proc.stderr
