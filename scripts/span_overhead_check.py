@@ -1,18 +1,24 @@
-"""CI gate: the disabled span path must stay effectively free.
+"""CI gate: the disabled span AND metrics paths must stay effectively free.
 
-Two assertions, run in bench-smoke right after ``bench_kernels``:
+Three assertions, run in bench-smoke right after ``bench_kernels``:
 
 1. **Micro overhead.**  With spans disabled, one ``Tracer.add`` call
-   pays a single ``is not None`` test over the pre-span implementation.
-   We time a batch of charges and require the per-call cost to stay
-   under an absolute bound generous enough for any CI host but far
-   below anything a regression (e.g. unconditional span allocation)
-   would produce.
+   pays a single ``is not None`` test over the pre-span implementation
+   (the metrics feed adds one more).  We time a batch of charges and
+   require the per-call cost to stay under an absolute bound generous
+   enough for any CI host but far below anything a regression (e.g.
+   unconditional span allocation) would produce.
 
-2. **Bit identity.**  Recording spans must not change what is charged:
-   the same solve with spans off and spans on must produce
+2. **Bit identity (spans).**  Recording spans must not change what is
+   charged: the same solve with spans off and spans on must produce
    byte-identical accumulator documents (``Tracer.to_dict``) — the
    committed ``BENCH_*.json`` baselines depend on it.
+
+3. **Bit identity (metrics).**  Attaching a metrics registry must be
+   charge-identical and modeled-cost-identical too: the registry only
+   *observes* the charge stream and the cost model's (flops, bytes)
+   shapes, never the returned seconds.  Asserted the same way, plus a
+   sanity check that the enabled registry actually accumulated.
 
 Run as ``PYTHONPATH=src python scripts/span_overhead_check.py``.
 """
@@ -60,13 +66,14 @@ def micro_overhead() -> tuple[float, float]:
             float(np.median(enabled)) * to_us)
 
 
-def solve_doc(spans: bool) -> dict:
-    """Accumulator document of a fixed small solve."""
-    sim = Simulation(laplace2d(16), ranks=4, spans=spans)
+def solve_doc(spans: bool = False, metrics: bool = False) -> tuple[dict, dict]:
+    """(accumulator document, metrics document) of a fixed small solve."""
+    sim = Simulation(laplace2d(16), ranks=4, spans=spans, metrics=metrics)
     b = np.ones(sim.n)
     sstep_gmres(sim, b, s=3, restart=9, tol=1.0e-8, maxiter=200,
                 scheme=TwoStageScheme(9))
-    return sim.tracer.to_dict()  # accumulators only, never the spans
+    # accumulators only, never the spans
+    return sim.tracer.to_dict(), sim.metrics_doc()
 
 
 def main() -> int:
@@ -78,13 +85,27 @@ def main() -> int:
         print("FAIL: disabled-span charge overhead above bound")
         return 1
 
-    doc_off = solve_doc(spans=False)
-    doc_on = solve_doc(spans=True)
+    doc_off, _ = solve_doc(spans=False)
+    doc_on, _ = solve_doc(spans=True)
     if doc_off != doc_on:
         print("FAIL: enabling spans changed the charged accumulators")
         return 1
     print(f"accumulators bit-identical with spans on/off "
           f"(clock {doc_off['clock']!r} s)")
+
+    doc_metrics, metrics = solve_doc(metrics=True)
+    if doc_off != doc_metrics:
+        print("FAIL: enabling metrics changed the charged accumulators")
+        return 1
+    if not metrics or not metrics["kernels"]:
+        print("FAIL: enabled metrics registry stayed empty")
+        return 1
+    if metrics["totals"]["flops"] <= 0.0:
+        print("FAIL: metrics registry recorded no flops")
+        return 1
+    print(f"accumulators bit-identical with metrics on/off "
+          f"({len(metrics['kernels'])} kernel rows, "
+          f"{metrics['totals']['flops']:.3e} flops recorded)")
     return 0
 
 

@@ -249,10 +249,12 @@ class LoopEngine(KernelEngine):
         # word size (the shard stream dominates the sketch kernel)
         partials = [op.partial(shard, int(offsets[r]))
                     for r, shard in enumerate(v.shards)]
+        # sketch application runs on the driver process under the mp
+        # backend (see ROADMAP), so tag the charge for calibration
         comm.charge_local(
             "dot", [op.local_cost(comm.cost, s.shape[0], v.n_cols,
                                   word_bytes=v.word_bytes)
-                    for s in v.shards])
+                    for s in v.shards], driver_side=True)
         return partials
 
     def sketch_apply(self, v, op) -> np.ndarray:
@@ -489,7 +491,7 @@ class BatchedEngine(LoopEngine):
         partials = op.partial_stack(stack)
         comm.charge_uniform(
             "dot", op.local_cost(comm.cost, stack.shape[1], v.n_cols,
-                                 word_bytes=v.word_bytes))
+                                 word_bytes=v.word_bytes), driver_side=True)
         return partials
 
     def sketch_apply(self, v, op) -> np.ndarray:

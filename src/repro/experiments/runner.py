@@ -13,6 +13,7 @@ from repro.experiments import (
     ablations,
     backend_validation,
     ca_mpk_tradeoff,
+    calibration,
     fig6,
     fig7,
     fig8,
@@ -47,6 +48,7 @@ _DISPATCH = {
     "ca_mpk": ca_mpk_tradeoff.main,
     "overlap": overlap_tradeoff.main,
     "backend": backend_validation.main,
+    "calibrate": calibration.main,
 }
 
 
@@ -79,6 +81,7 @@ def run_all_quick() -> None:
         "\n")
     print(backend_validation.run(nx=24, restart=12, repeats=1)[0].render(),
           "\n")
+    print(calibration.run(nx=24, restart=12)[0].render(), "\n")
 
 
 def main(argv: list | None = None) -> int:

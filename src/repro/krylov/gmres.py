@@ -153,4 +153,5 @@ def gmres(sim: Simulation, b: np.ndarray, x0: np.ndarray | None = None, *,
         x=x_vec.to_global()[:, 0], converged=converged, iterations=iters,
         restarts=restarts, relative_residual=float(rel_res),
         history=history, times=times, ortho_breakdown=ortho_breakdown,
-        sync_count=sync_count, solver="gmres", scheme=variant)
+        sync_count=sync_count, solver="gmres", scheme=variant,
+        metrics=sim.metrics_doc())

@@ -254,4 +254,5 @@ def gmres_ir(sim: Simulation, b: np.ndarray,
             "inner_tol_final": inner_tol,
             "inner_solves": inner_summaries,
         },
-        telemetry=tel.to_list())
+        telemetry=tel.to_list(),
+        metrics=sim.metrics_doc())

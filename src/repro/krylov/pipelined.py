@@ -181,4 +181,5 @@ def pipelined_gmres(sim: Simulation, b: np.ndarray,
         x=x_vec.to_global()[:, 0], converged=converged, iterations=iters,
         restarts=restarts, relative_residual=float(rel_res),
         history=history, times=times, ortho_breakdown=ortho_breakdown,
-        sync_count=sync_count, solver="pipelined_gmres", scheme="dcgs2")
+        sync_count=sync_count, solver="pipelined_gmres", scheme="dcgs2",
+        metrics=sim.metrics_doc())

@@ -64,6 +64,13 @@ class Simulation:
         timeline this simulation owns (see :meth:`enable_spans`), for
         the :mod:`repro.obs` exporters and drift monitor.  Off by
         default — the disabled path costs one pointer test per charge.
+    metrics:
+        When True, attach a
+        :class:`~repro.obs.metrics.MetricsRegistry` to the modeled
+        timeline (see :meth:`enable_metrics`): per-kernel flop/byte
+        counters, arithmetic intensity and roofline utilization against
+        this machine's peaks.  Off by default — same one-pointer-test
+        disabled path as spans; charges are identical either way.
     """
 
     def __init__(self, a: sp.spmatrix, ranks: int = 4,
@@ -72,7 +79,8 @@ class Simulation:
                  partition: Partition | None = None,
                  engine: str | None = None,
                  backend: str = "sim",
-                 spans: bool = False) -> None:
+                 spans: bool = False,
+                 metrics: bool = False) -> None:
         n = a.shape[0]
         if partition is None:
             partition = Partition(n, ranks)
@@ -84,10 +92,13 @@ class Simulation:
         self.tracer = self.comm.tracer
         self.engine = engine
         self.partition = partition
+        self.metrics = None
         self.matrix = DistSparseMatrix(a, partition, self.comm)
         self.backend = DistBackend(self.comm, engine=engine)
         if spans:
             self.enable_spans()
+        if metrics:
+            self.enable_metrics()
         # setup (partition/halo analysis) is not solver time
         self.comm.mark()
 
@@ -140,6 +151,36 @@ class Simulation:
         modeled = getattr(self.comm, "modeled", None)
         if modeled is not None:
             modeled.enable_spans()
+
+    def enable_metrics(self) -> None:
+        """Attach a metrics registry to the *modeled* timeline.
+
+        Creates one :class:`~repro.obs.metrics.MetricsRegistry` (at
+        ``sim.metrics``), points the modeled tracer's charge feed at it
+        and rebinds the communicator's cost model so every local-kernel
+        costing reports its (flops, bytes) shape.  Idempotent.  The
+        registry accumulates across every solve on this simulation;
+        :meth:`metrics_doc` snapshots it.
+        """
+        if self.metrics is not None:
+            return
+        from dataclasses import replace
+
+        from repro.obs.metrics import MetricsRegistry
+
+        self.metrics = MetricsRegistry(self.machine, self.ranks)
+        modeled = getattr(self.comm, "modeled", None)
+        (modeled if modeled is not None else self.tracer
+         ).attach_metrics(self.metrics)
+        self.comm.cost = replace(self.comm.cost, metrics=self.metrics)
+
+    def metrics_doc(self) -> dict:
+        """JSON snapshot of the metrics registry ({} when disabled).
+
+        What solvers stamp onto ``SolveResult.metrics``.
+        """
+        return {} if self.metrics is None else (
+            self.metrics.snapshot().to_dict())
 
     # ------------------------------------------------------------------
     def close(self) -> None:

@@ -516,4 +516,5 @@ def sstep_gmres(sim: Simulation, b: np.ndarray,
         restarts=restarts, relative_residual=float(rel_res),
         history=history, times=times, ortho_breakdown=ortho_breakdown,
         sync_count=sync_count, solver="sstep_gmres", scheme=scheme.name,
-        stalled=stalled, diagnostics=diagnostics, telemetry=tel.to_list())
+        stalled=stalled, diagnostics=diagnostics, telemetry=tel.to_list(),
+        metrics=sim.metrics_doc())

@@ -22,11 +22,25 @@ per-cycle numerics monitors — into first-class artifacts:
     its modeled twin span-by-span and reports per-phase relative error
     and share drift — the CI-gated number in ``BENCH_measured.json``.
 
+:mod:`repro.obs.metrics`
+    :class:`MetricsRegistry` — counters / gauges / histograms fed from
+    the charge sites: per-kernel flops, bytes moved (memory + network),
+    arithmetic intensity and roofline utilization against the
+    :class:`~repro.parallel.machine.MachineSpec` peaks; snapshots ride
+    on ``SolveResult.metrics`` and export as JSON or Prometheus text.
+
+:mod:`repro.obs.calibrate`
+    LogGP calibration: least-squares fit of the machine constants from
+    an mp run's measured span stream (:func:`fit_machine`), feeding the
+    CI-gated prediction-error bound of ``experiments/calibration.py``.
+
 :mod:`repro.obs.cli`
-    The ``repro-trace`` command (``summarize`` / ``diff`` / ``export``),
-    also reachable as ``python -m repro.obs.cli``.
+    The ``repro-trace`` command (``summarize`` / ``diff`` / ``metrics``
+    / ``calibrate`` / ``export``), also reachable as
+    ``python -m repro.obs.cli``.
 """
 
+from repro.obs.calibrate import CalibrationFit, calibrate, fit_machine
 from repro.obs.drift import (DEFAULT_DRIFT_BOUND, DriftReport, PhaseDrift,
                              drift_report)
 from repro.obs.export import (
@@ -35,17 +49,23 @@ from repro.obs.export import (
     export_jsonl,
     load_spans,
 )
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
 from repro.obs.telemetry import CycleRecord, SolveTelemetry
 
 __all__ = [
     "DEFAULT_DRIFT_BOUND",
+    "CalibrationFit",
     "CycleRecord",
+    "MetricsRegistry",
+    "MetricsSnapshot",
     "SolveTelemetry",
     "DriftReport",
     "PhaseDrift",
     "drift_report",
+    "calibrate",
     "chrome_trace_doc",
     "export_chrome_trace",
     "export_jsonl",
+    "fit_machine",
     "load_spans",
 ]

@@ -1,16 +1,29 @@
 """``repro-trace``: inspect and convert exported trace files.
 
-Three subcommands over the files :mod:`repro.obs.export` writes
-(Chrome trace-event JSON or JSONL, sniffed automatically):
+Subcommands over the files :mod:`repro.obs.export` writes (Chrome
+trace-event JSON or JSONL, sniffed automatically):
 
-``repro-trace summarize trace.json``
+``repro-trace summarize trace.json [--json]``
     Per-stream, per-phase totals, span counts and collective payload
-    bytes — the quick "what's in this trace" view.
+    bytes — the quick "what's in this trace" view.  ``--json`` emits
+    the machine-readable :func:`summarize_doc` instead (what the
+    calibration experiment embeds in its artifact).
 
 ``repro-trace diff a.json [b.json]``
     Per-phase share-drift table between two traces; with a single file
     containing both streams (an mp-backend export), diffs its modeled
     track against its measured one.
+
+``repro-trace metrics trace.json [--prometheus]``
+    Replay a trace's kernel charges into a metrics registry and print
+    the JSON snapshot (or Prometheus text exposition).  Flop/byte
+    gauges need a live :class:`CostModel` feed, so a replay carries
+    seconds / calls / network bytes only.
+
+``repro-trace calibrate trace.json [--machine M] [--ranks N]``
+    Fit LogGP machine constants from an mp run's twin span streams
+    (:func:`repro.obs.calibrate.fit_machine`) and print the calibrated
+    constants next to the base machine's.
 
 ``repro-trace export in.jsonl out.json``
     Convert between the JSONL and Chrome formats (target chosen by the
@@ -23,12 +36,14 @@ a checkout as ``PYTHONPATH=src python -m repro.obs.cli``.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections import defaultdict
 from pathlib import Path
 
 from repro.obs.drift import drift_report
 from repro.obs.export import export_chrome_trace, export_jsonl, load_spans
+from repro.parallel.machine import PRESETS
 from repro.parallel.tracing import TraceTotals
 
 
@@ -36,7 +51,8 @@ def _accumulate(spans) -> dict[str, TraceTotals]:
     """Rebuild per-stream accumulator totals from driver kernel spans."""
     per_stream: dict[str, dict] = defaultdict(
         lambda: {"clock": 0.0, "by_phase": defaultdict(float),
-                 "by_kernel": defaultdict(float), "counts": defaultdict(int)})
+                 "by_kernel": defaultdict(float), "counts": defaultdict(int),
+                 "payload": defaultdict(float)})
     for s in spans:
         if s.cat != "kernel" or s.rank is not None:
             continue
@@ -45,13 +61,42 @@ def _accumulate(spans) -> dict[str, TraceTotals]:
         acc["by_phase"][s.phase] += s.duration
         acc["by_kernel"][(s.phase, s.name)] += s.duration
         acc["counts"][(s.phase, s.name)] += s.count
+        if s.payload_bytes:
+            acc["payload"][(s.phase, s.name)] += s.payload_bytes
     return {stream: TraceTotals(acc["clock"], dict(acc["by_phase"]),
-                                dict(acc["by_kernel"]), dict(acc["counts"]))
+                                dict(acc["by_kernel"]), dict(acc["counts"]),
+                                payload_bytes=dict(acc["payload"]))
             for stream, acc in per_stream.items()}
+
+
+def summarize_doc(spans) -> dict:
+    """Machine-readable trace summary: per-stream totals + span stats.
+
+    The JSON form behind ``repro-trace summarize --json``; the
+    calibration experiment embeds it in ``BENCH_calibration.json``.
+    """
+    streams = {}
+    for stream, totals in sorted(_accumulate(spans).items()):
+        lanes = {s.rank for s in spans
+                 if s.stream == stream and s.rank is not None}
+        payload = sum(s.payload_bytes for s in spans
+                      if s.stream == stream and s.payload_bytes is not None
+                      and s.rank is None)
+        n = sum(1 for s in spans if s.stream == stream)
+        streams[stream] = {
+            "spans": n,
+            "rank_lanes": len(lanes),
+            "collective_payload_bytes": float(payload),
+            "totals": totals.to_dict(),
+        }
+    return {"n_spans": len(spans), "streams": streams}
 
 
 def _summarize(args) -> int:
     spans = load_spans(args.trace)
+    if getattr(args, "json", False):
+        print(json.dumps(summarize_doc(spans), indent=2, sort_keys=True))
+        return 0 if spans else 1
     if not spans:
         print(f"{args.trace}: no spans")
         return 1
@@ -73,6 +118,56 @@ def _summarize(args) -> int:
                 f"{k} {v:.6f}s (x{totals.counts[(phase, k)]})"
                 for k, v in kerns)
             print(f"  {phase:<12s} {totals.by_phase[phase]:.6f} s  [{detail}]")
+    return 0
+
+
+def _metrics(args) -> int:
+    from repro.obs.metrics import MetricsRegistry
+
+    spans = load_spans(args.trace)
+    machine = PRESETS[args.machine]()
+    wanted = [s for s in spans
+              if s.cat == "kernel" and s.rank is None
+              and s.stream == args.stream]
+    if not wanted:
+        print(f"{args.trace}: no driver kernel spans on stream "
+              f"{args.stream!r}", file=sys.stderr)
+        return 1
+    ranks = args.ranks
+    if ranks is None:
+        lanes = {s.rank for s in spans if s.rank is not None}
+        ranks = len(lanes) if lanes else 1
+    reg = MetricsRegistry(machine, ranks)
+    for s in wanted:
+        reg.observe(s.phase, s.name, s.duration, s.count,
+                    s.payload_bytes, s.driver_side)
+    snap = reg.snapshot()
+    if args.prometheus:
+        print(snap.to_prometheus(), end="")
+    else:
+        print(json.dumps(snap.to_dict(), indent=2, sort_keys=True))
+    return 0
+
+
+def _calibrate(args) -> int:
+    from repro.obs.calibrate import calibrate
+
+    spans = load_spans(args.trace)
+    base = PRESETS[args.machine]()
+    fit = calibrate(spans, base=base, ranks=args.ranks)
+    if args.json:
+        print(json.dumps(fit.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(f"calibrated {base.name!r} from {fit.n_net_pairs} network + "
+          f"{fit.n_kernel_pairs} kernel span pairs "
+          f"({fit.n_driver_excluded} driver-side collective charges "
+          f"excluded, {fit.span_mismatches} mismatches)")
+    print(f"  latency scale {fit.lam_net:.3e}   wire scale "
+          f"{fit.beta_net:.3e}   launch scale {fit.kappa_kernel:.3e}   "
+          f"rate scale {fit.gamma_kernel:.3e}")
+    rows = fit.to_dict()["constants"]
+    for key, value in rows.items():
+        print(f"  {key:<22s} {getattr(base, key):>12.4e} -> {value:>12.4e}")
     return 0
 
 
@@ -136,7 +231,31 @@ def build_parser() -> argparse.ArgumentParser:
 
     s = sub.add_parser("summarize", help="per-stream/phase totals of a trace")
     s.add_argument("trace")
+    s.add_argument("--json", action="store_true",
+                   help="machine-readable summary document")
     s.set_defaults(func=_summarize)
+
+    m = sub.add_parser("metrics",
+                       help="replay a trace into a metrics registry")
+    m.add_argument("trace")
+    m.add_argument("--machine", choices=sorted(PRESETS), default="summit")
+    m.add_argument("--ranks", type=int, default=None,
+                   help="rank count (default: inferred from rank lanes)")
+    m.add_argument("--stream", choices=("modeled", "measured"),
+                   default="modeled")
+    m.add_argument("--prometheus", action="store_true",
+                   help="Prometheus text exposition instead of JSON")
+    m.set_defaults(func=_metrics)
+
+    c = sub.add_parser("calibrate",
+                       help="fit LogGP constants from an mp-run trace")
+    c.add_argument("trace")
+    c.add_argument("--machine", choices=sorted(PRESETS), default="summit")
+    c.add_argument("--ranks", type=int, default=None,
+                   help="rank count (default: inferred from rank lanes)")
+    c.add_argument("--json", action="store_true",
+                   help="machine-readable fit document")
+    c.set_defaults(func=_calibrate)
 
     d = sub.add_parser("diff", help="per-phase share drift between traces")
     d.add_argument("a")

@@ -68,6 +68,8 @@ def chrome_trace_doc(*sources) -> dict:
             args["count"] = sp.count
         if sp.overlapped_seconds is not None:
             args["overlapped_seconds"] = sp.overlapped_seconds
+        if sp.driver_side:
+            args["driver_side"] = True
         events.append({
             "name": sp.name, "cat": sp.cat, "ph": "X",
             "ts": sp.t0 * 1e6, "dur": sp.duration * 1e6,
@@ -126,7 +128,8 @@ def _spans_from_chrome(doc: dict) -> list[SpanEvent]:
             payload_bytes=args.get("payload_bytes"),
             cycle=args.get("cycle"),
             rank=None if tid == 0 else tid - 1,
-            overlapped_seconds=args.get("overlapped_seconds")))
+            overlapped_seconds=args.get("overlapped_seconds"),
+            driver_side=bool(args.get("driver_side", False))))
     return spans
 
 

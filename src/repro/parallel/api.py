@@ -114,10 +114,10 @@ class Communicator(Protocol):
 
     # -- local-kernel and neighbourhood accounting --------------------
     def charge_local(self, kernel: str, per_rank_seconds: list[float],
-                     count: int = 1) -> None: ...
+                     count: int = 1, driver_side: bool = False) -> None: ...
 
     def charge_uniform(self, kernel: str, seconds: float,
-                       count: int = 1) -> None: ...
+                       count: int = 1, driver_side: bool = False) -> None: ...
 
     def charge_halo(self, recv_bytes_by_rank: list[dict[int, float]]
                     ) -> None: ...

@@ -123,14 +123,16 @@ class SimComm:
     def _charge(self, kernel: str, seconds: float, count: int = 1,
                 payload_bytes: float | None = None, *,
                 overlapped_seconds: float | None = None,
-                drain: bool = True) -> None:
+                drain: bool = True, driver_side: bool = False) -> None:
         """Record one modeled charge.
 
         Every cost this class computes funnels through here so subclasses
         can redirect the *modeled* stream (the mp backend sends it to its
         modeled twin while ``self.tracer`` accumulates wall clock).
         ``payload_bytes`` annotates collective charges for the span
-        stream; it never affects the charged seconds.
+        stream; it never affects the charged seconds.  ``driver_side``
+        tags kernels the mp backend runs on the driver process (span
+        annotation only — see :class:`~repro.parallel.tracing.SpanEvent`).
 
         While posted collectives are in flight, the charged seconds first
         drain them front-to-back (``drain=False`` is reserved for the
@@ -142,7 +144,8 @@ class SimComm:
             self._drain_inflight(seconds)
         self.tracer.add(kernel, seconds, count=count,
                         payload_bytes=payload_bytes,
-                        overlapped_seconds=overlapped_seconds)
+                        overlapped_seconds=overlapped_seconds,
+                        driver_side=driver_side)
 
     def _drain_inflight(self, seconds: float) -> None:
         """Let ``seconds`` of elapsing work hide in-flight comm (FIFO)."""
@@ -410,16 +413,30 @@ class SimComm:
 
     # ------------------------------------------------------------------
     def charge_local(self, kernel: str, per_rank_seconds: list[float],
-                     count: int = 1) -> None:
+                     count: int = 1, driver_side: bool = False) -> None:
         """Charge a concurrent local kernel: elapsed = max over ranks."""
         if len(per_rank_seconds) != self.size:
             raise CommunicatorError(
                 f"expected {self.size} per-rank costs, got {len(per_rank_seconds)}")
-        self._charge(kernel, max(per_rank_seconds), count=count)
+        self._charge(kernel, max(per_rank_seconds), count=count,
+                     driver_side=driver_side)
 
-    def charge_uniform(self, kernel: str, seconds: float, count: int = 1) -> None:
-        """Charge a kernel whose cost is identical on every rank."""
-        self._charge(kernel, seconds, count=count)
+    def charge_uniform(self, kernel: str, seconds: float, count: int = 1,
+                       driver_side: bool = False) -> None:
+        """Charge a kernel whose cost is identical on every rank.
+
+        The cost model was evaluated for ONE rank's shard; fan the
+        queued metrics shapes out by the rank count so flop/byte
+        counters stay the aggregate over all shards — identical to a
+        per-rank :meth:`charge_local` evaluation under the loop engine
+        (and a near-exact aggregate for the driver-side TSQR tree,
+        whose ``ranks - 1`` node factorizations are charged from one
+        per-node shape).
+        """
+        metrics = self.cost.metrics
+        if metrics is not None:
+            metrics.scale_pending(float(self.size))
+        self._charge(kernel, seconds, count=count, driver_side=driver_side)
 
     @staticmethod
     def _halo_payload(recv_bytes_by_rank: list[dict[int, float]]) -> float:

@@ -21,7 +21,7 @@ see ``tests/parallel/test_costmodel.py``.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.parallel.machine import MachineSpec
 from repro.precision.dtypes import word_bytes as bytes_per_word
@@ -40,11 +40,19 @@ class CostModel:
     """Maps operation shapes to modeled seconds on one :class:`MachineSpec`."""
 
     machine: MachineSpec
+    #: Optional :class:`repro.obs.metrics.MetricsRegistry` feed.  When
+    #: set, every local-kernel costing records its (flops, bytes_moved)
+    #: operation shape; the registry pairs those with the next tracer
+    #: charge.  ``None`` (the default) is a single ``is not None`` test
+    #: per costing — returned seconds are identical either way.
+    metrics: object | None = field(default=None, compare=False, repr=False)
 
     # ------------------------------------------------------------------
     # local device kernels
     # ------------------------------------------------------------------
     def _roofline(self, flops: float, bytes_moved: float, efficiency: float) -> float:
+        if self.metrics is not None:
+            self.metrics.record_op(flops, bytes_moved)
         m = self.machine
         t_flops = flops / m.peak_flops
         t_bytes = bytes_moved / (m.mem_bandwidth * efficiency)
@@ -148,6 +156,8 @@ class CostModel:
         """Small redundant dense math on the host (Cholesky of an s x s
         Gram, Hessenberg least squares) — paper Sec. VII runs these on CPU
         on every rank."""
+        if self.metrics is not None:
+            self.metrics.record_op(flops, 0.0)
         return flops / self.machine.host_flops
 
     def ghost_plan_analysis(self, level_rows: float, level_nnz: float) -> float:

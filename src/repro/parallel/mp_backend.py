@@ -308,14 +308,15 @@ class MpComm(SimComm):
     def _charge(self, kernel: str, seconds: float, count: int = 1,
                 payload_bytes: float | None = None, *,
                 overlapped_seconds: float | None = None,
-                drain: bool = True) -> None:
+                drain: bool = True, driver_side: bool = False) -> None:
         # the inherited SimComm cost formulas land on the modeled twin;
         # modeled overlap windows drain exactly as on the sim backend
         if drain and self._inflight and seconds > 0.0:
             self._drain_inflight(seconds)
         self.modeled.add(kernel, seconds, count=count,
                          payload_bytes=payload_bytes,
-                         overlapped_seconds=overlapped_seconds)
+                         overlapped_seconds=overlapped_seconds,
+                         driver_side=driver_side)
 
     def mark(self) -> None:
         """Reset the wall-clock attribution mark (drop setup time)."""
@@ -646,16 +647,20 @@ class MpComm(SimComm):
 
     # -- accounting: modeled via super(), measured via elapsed marks ---
     def charge_local(self, kernel: str, per_rank_seconds: list[float],
-                     count: int = 1) -> None:
-        super().charge_local(kernel, per_rank_seconds, count=count)
+                     count: int = 1, driver_side: bool = False) -> None:
+        super().charge_local(kernel, per_rank_seconds, count=count,
+                             driver_side=driver_side)
         self.tracer.add(kernel, self._pending.pop(kernel, 0.0)
-                        + self._take_elapsed(), count=count)
+                        + self._take_elapsed(), count=count,
+                        driver_side=driver_side)
 
     def charge_uniform(self, kernel: str, seconds: float,
-                       count: int = 1) -> None:
-        super().charge_uniform(kernel, seconds, count=count)
+                       count: int = 1, driver_side: bool = False) -> None:
+        super().charge_uniform(kernel, seconds, count=count,
+                               driver_side=driver_side)
         self.tracer.add(kernel, self._pending.pop(kernel, 0.0)
-                        + self._take_elapsed(), count=count)
+                        + self._take_elapsed(), count=count,
+                        driver_side=driver_side)
 
     def charge_halo(self, recv_bytes_by_rank: list[dict[int, float]]) -> None:
         super().charge_halo(recv_bytes_by_rank)

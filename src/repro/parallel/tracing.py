@@ -113,6 +113,11 @@ class SpanEvent:
     #: seconds of the collective were hidden behind compute before the
     #: wait (``None`` for ordinary blocking charges).
     overlapped_seconds: float | None = None
+    #: True for kernels the mp backend executes on the driver process
+    #: rather than the workers (panel QR, sketch apply): their measured
+    #: wall-clock carries no worker round-trip, so LogGP calibration
+    #: must exclude them from network fits.
+    driver_side: bool = False
 
     @property
     def duration(self) -> float:
@@ -126,6 +131,7 @@ class SpanEvent:
             "count": self.count, "payload_bytes": self.payload_bytes,
             "cycle": self.cycle, "rank": self.rank,
             "overlapped_seconds": self.overlapped_seconds,
+            "driver_side": self.driver_side,
         }
 
     @classmethod
@@ -137,7 +143,8 @@ class SpanEvent:
                    count=int(doc.get("count", 1)),
                    payload_bytes=doc.get("payload_bytes"),
                    cycle=doc.get("cycle"), rank=doc.get("rank"),
-                   overlapped_seconds=doc.get("overlapped_seconds"))
+                   overlapped_seconds=doc.get("overlapped_seconds"),
+                   driver_side=bool(doc.get("driver_side", False)))
 
 
 def _key_str(key: tuple[str, str]) -> str:
@@ -157,6 +164,10 @@ class TraceTotals:
     #: collective that compute drained before its ``wait`` (empty for
     #: purely blocking runs).
     overlapped: dict = field(default_factory=dict)
+    #: Wire payload bytes per (phase, kernel) — fed from the
+    #: ``payload_bytes`` argument of :meth:`Tracer.add`, so only
+    #: collective charges contribute (local kernels pass None).
+    payload_bytes: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         """JSON-safe document: tuple keys flattened to ``"phase/kernel"``.
@@ -172,6 +183,8 @@ class TraceTotals:
             "counts": {_key_str(k): int(c) for k, c in self.counts.items()},
             "overlapped": {_key_str(k): float(v)
                            for k, v in self.overlapped.items()},
+            "payload_bytes": {_key_str(k): float(v)
+                              for k, v in self.payload_bytes.items()},
         }
 
 
@@ -191,10 +204,12 @@ class Tracer:
     by_kernel: dict = field(default_factory=lambda: defaultdict(float))
     counts: dict = field(default_factory=lambda: defaultdict(int))
     overlapped: dict = field(default_factory=lambda: defaultdict(float))
+    payload_bytes: dict = field(default_factory=lambda: defaultdict(float))
     stream: str = "modeled"
     _phase_stack: list = field(default_factory=lambda: ["other"])
     _cycle: list = field(default_factory=lambda: [None])
     _spans: list | None = None
+    _metrics: object | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -244,12 +259,14 @@ class Tracer:
 
     def add(self, kernel: str, seconds: float, count: int = 1,
             payload_bytes: float | None = None,
-            overlapped_seconds: float | None = None) -> None:
+            overlapped_seconds: float | None = None,
+            driver_side: bool = False) -> None:
         """Advance the clock by ``seconds``, attributed to ``kernel``.
 
         ``payload_bytes`` optionally records the wire payload of a
-        collective; it only lands in the span stream (accumulator
-        behaviour is unchanged whether or not it is passed).
+        collective; it accumulates in :attr:`payload_bytes` and lands in
+        the span stream (charged seconds are unchanged whether or not it
+        is passed).
 
         ``overlapped_seconds`` marks this charge as the *exposed*
         remainder of a posted collective and records how much of the
@@ -257,6 +274,10 @@ class Tracer:
         hidden part never advances the clock (that time already elapsed
         inside the draining charges); it accumulates in
         :attr:`overlapped` as a separate dimension.
+
+        ``driver_side`` tags charges the mp backend executes on the
+        driver process (see :class:`SpanEvent`); it only lands in the
+        span stream and the metrics feed.
         """
         if seconds < 0:
             raise ValueError(f"negative cost for kernel {kernel!r}: {seconds}")
@@ -268,11 +289,17 @@ class Tracer:
         self.counts[(phase, kernel)] += count
         if overlapped_seconds:
             self.overlapped[(phase, kernel)] += overlapped_seconds
+        if payload_bytes:
+            self.payload_bytes[(phase, kernel)] += payload_bytes
+        if self._metrics is not None:
+            self._metrics.observe(phase, kernel, seconds, count,
+                                  payload_bytes, driver_side)
         if self._spans is not None:
             self._spans.append(SpanEvent(
                 kernel, t0, self.clock, phase, self.stream, count=count,
                 payload_bytes=payload_bytes, cycle=self._cycle[0],
-                overlapped_seconds=overlapped_seconds))
+                overlapped_seconds=overlapped_seconds,
+                driver_side=driver_side))
 
     # -- span stream ----------------------------------------------------
     def enable_spans(self) -> None:
@@ -297,7 +324,8 @@ class Tracer:
                     phase: str | None = None, cat: str = "kernel",
                     count: int = 1, payload_bytes: float | None = None,
                     rank: int | None = None,
-                    cycle: int | None = None) -> None:
+                    cycle: int | None = None,
+                    driver_side: bool = False) -> None:
         """Append a raw span WITHOUT touching the accumulators.
 
         For sub-charge detail that must not double-count — e.g. the mp
@@ -310,14 +338,27 @@ class Tracer:
         self._spans.append(SpanEvent(
             name, t0, t1, phase if phase is not None else self.current_phase,
             self.stream, cat=cat, count=count, payload_bytes=payload_bytes,
-            cycle=self._cycle[0] if cycle is None else cycle, rank=rank))
+            cycle=self._cycle[0] if cycle is None else cycle, rank=rank,
+            driver_side=driver_side))
+
+    # -- metrics feed ---------------------------------------------------
+    def attach_metrics(self, registry) -> None:
+        """Feed every subsequent charge into ``registry`` (a
+        :class:`repro.obs.metrics.MetricsRegistry`).  Disabled by
+        default; the disabled path is one ``is not None`` test per
+        charge — accumulator and clock behaviour are identical either
+        way (``scripts/span_overhead_check.py`` gates this)."""
+        self._metrics = registry
+
+    def detach_metrics(self) -> None:
+        self._metrics = None
 
     # ------------------------------------------------------------------
     def snapshot(self) -> TraceTotals:
         """Copy of the accumulators, e.g. to diff around a solver call."""
         return TraceTotals(self.clock, dict(self.by_phase),
                            dict(self.by_kernel), dict(self.counts),
-                           dict(self.overlapped))
+                           dict(self.overlapped), dict(self.payload_bytes))
 
     def since(self, snap: TraceTotals) -> TraceTotals:
         """Totals accumulated after ``snap`` was taken.
@@ -334,8 +375,10 @@ class Tracer:
                   for k, v in self.counts.items()}
         overlapped = {k: v - snap.overlapped.get(k, 0.0)
                       for k, v in self.overlapped.items()}
+        payload = {k: v - snap.payload_bytes.get(k, 0.0)
+                   for k, v in self.payload_bytes.items()}
         return TraceTotals(self.clock - snap.clock, by_phase, by_kernel,
-                           counts, overlapped)
+                           counts, overlapped, payload)
 
     def reset(self) -> None:
         """Zero accumulators and drop recorded spans (phase stack and
@@ -345,6 +388,7 @@ class Tracer:
         self.by_kernel.clear()
         self.counts.clear()
         self.overlapped.clear()
+        self.payload_bytes.clear()
         if self._spans is not None:
             self._spans.clear()
 
@@ -371,7 +415,8 @@ class Tracer:
             if (phase is None or ph == phase)
             and (kernel is None or kern == kernel)))
 
-    def collective_counts(self, phase: str | None = None) -> dict[str, int]:
+    def collective_counts(self, phase: str | None = None, *,
+                          payload_bytes: bool = False) -> dict:
         """Call counts of every collective kernel, optionally per phase.
 
         Returns ``{"allreduce": n, "halo": m, "bcast": k}`` — all of
@@ -379,12 +424,24 @@ class Tracer:
         charged — covering global reductions, neighbourhood exchanges
         and broadcasts alike (:meth:`sync_count` reports only the
         allreduce entry).
+
+        With ``payload_bytes=True`` each entry becomes ``{"count": n,
+        "bytes": b}`` where ``bytes`` totals the wire payload charged
+        through :meth:`add` — the comm-budget tests pin both: how often
+        each collective fires AND how much it moves.
         """
         out = dict.fromkeys(COLLECTIVE_KERNELS, 0)
         for (ph, kern), c in self.counts.items():
             if kern in out and (phase is None or ph == phase):
                 out[kern] += c
-        return out
+        if not payload_bytes:
+            return out
+        nbytes = dict.fromkeys(COLLECTIVE_KERNELS, 0.0)
+        for (ph, kern), b in self.payload_bytes.items():
+            if kern in nbytes and (phase is None or ph == phase):
+                nbytes[kern] += b
+        return {k: {"count": out[k], "bytes": float(nbytes[k])}
+                for k in COLLECTIVE_KERNELS}
 
     def sync_count(self, phase: str | None = None) -> int:
         """Number of global synchronizations (allreduces) charged so far."""

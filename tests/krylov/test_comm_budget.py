@@ -2,8 +2,9 @@
 
 Every synchronization the solver charges per restart cycle is frozen
 here — halo exchanges split by MPK mode, allreduces split by
-orthogonalization scheme — so a future refactor cannot silently add
-latency-bound communication.  The counts are structural, not tuned:
+orthogonalization scheme — as BOTH a message count and a payload byte
+budget (``Tracer.collective_counts(payload_bytes=True)``).  The counts
+are structural, not tuned:
 
 * halo exchanges: 1 (explicit residual check) + one per basis column
   for the standard MPK, + one per s-panel for the CA MPK, or + two per
@@ -15,8 +16,11 @@ latency-bound communication.  The counts are structural, not tuned:
   collective per stage pass, the RGS contract; RBCGS: three per panel —
   sketch, projection, normalization).
 
-If an intentional algorithm change shifts a budget, update the number
-here *in the same commit* and say why in its message.
+The byte budgets are exact for the fixed problem below (laplace2d(16)
+on 4 ranks): payloads come from the charge sites' message descriptors,
+so they are deterministic and engine-independent.  If an intentional
+algorithm change shifts a budget, update the number here *in the same
+commit* and say why in its message.
 """
 
 from __future__ import annotations
@@ -37,18 +41,36 @@ RESTART = 30
 PANELS = len(_panel_bounds(S, RESTART + 1))  # 6 panels per cycle
 ENGINES = ["loop", "batched"]
 
+# Frozen payload budgets (bytes) for laplace2d(16) on 4 ranks.  The
+# depth-1 halo moves two 16-wide ghost rows of float64 per exchange;
+# the residual-norm allreduce carries one scalar.  Scheme totals are
+# the summed Gram/sketch message descriptors over one restart cycle.
+HALO_EXCHANGE_BYTES = 2 * 16 * 8       # 256 B per depth-1 exchange
+CA_HALO_BYTES = 7_168                  # deep-ghost total, any CA mode
+RESIDUAL_NORM_BYTES = 8                # one scalar reduce
+TWO_STAGE_ORTHO_BYTES = 12_176
+BCGS_PIP2_ORTHO_BYTES = 8_976
+FUSED_SKETCHED_ORTHO_BYTES = 80_576
+RBCGS_ORTHO_BYTES = 86_352
+
 
 def run_one_cycle(scheme_factory, engine, **option_kw):
-    """Exactly one restart cycle: tol unreachable, maxiter = restart."""
+    """Exactly one restart cycle: tol unreachable, maxiter = restart.
+
+    Returns (total, ortho-phase) ``collective_counts`` docs, each
+    ``{kind: {"count": n, "bytes": b}}``.
+    """
     sim = Simulation(laplace2d(16), ranks=4, machine=generic_cpu(),
                      engine=engine)
     res = sstep_gmres(sim, sim.ones_solution_rhs(), s=S, restart=RESTART,
                       tol=1e-30, maxiter=RESTART, scheme=scheme_factory(),
                       options=SolverOptions(**option_kw))
     assert res.restarts == 1
-    total = sim.tracer.collective_counts()
-    ortho = sim.tracer.collective_counts("ortho")
-    return total["halo"], total["allreduce"], ortho["allreduce"]
+    total = sim.tracer.collective_counts(payload_bytes=True)
+    ortho = sim.tracer.collective_counts("ortho", payload_bytes=True)
+    # no solver path broadcasts inside a cycle
+    assert total["bcast"] == {"count": 0, "bytes": 0.0}
+    return total, ortho
 
 
 class TestHaloBudget:
@@ -56,24 +78,28 @@ class TestHaloBudget:
 
     @pytest.mark.parametrize("engine", ENGINES)
     def test_standard_mpk_pays_one_exchange_per_column(self, engine):
-        halo, _, _ = run_one_cycle(
+        total, _ = run_one_cycle(
             lambda: TwoStageScheme(big_step=RESTART), engine)
-        assert halo == 1 + RESTART
+        assert total["halo"]["count"] == 1 + RESTART
+        assert total["halo"]["bytes"] == (1 + RESTART) * HALO_EXCHANGE_BYTES
 
     @pytest.mark.parametrize("engine", ENGINES)
     def test_ca_mpk_pays_one_exchange_per_panel(self, engine):
-        halo, _, _ = run_one_cycle(
+        total, _ = run_one_cycle(
             lambda: TwoStageScheme(big_step=RESTART), engine, mpk_mode="ca")
-        assert halo == 1 + PANELS
+        assert total["halo"]["count"] == 1 + PANELS
+        assert total["halo"]["bytes"] == CA_HALO_BYTES
 
     @pytest.mark.parametrize("engine", ENGINES)
     def test_ca_overlap_pays_two_exchanges_per_panel(self, engine):
-        """PA2 splits each panel's exchange in two messages: the eager
-        depth-1 shell plus the posted (waited) deep ring."""
-        halo, _, _ = run_one_cycle(
+        """PA2 splits each panel's exchange in two messages — the eager
+        depth-1 shell plus the posted (waited) deep ring — but moves
+        exactly the same ghost volume as the blocking CA MPK."""
+        total, _ = run_one_cycle(
             lambda: TwoStageScheme(big_step=RESTART), engine,
             mpk_mode="ca_overlap")
-        assert halo == 1 + 2 * PANELS
+        assert total["halo"]["count"] == 1 + 2 * PANELS
+        assert total["halo"]["bytes"] == CA_HALO_BYTES
 
     def test_ca_overlap_hides_ring_time(self):
         """The posted ring must actually report hidden halo seconds;
@@ -90,55 +116,66 @@ class TestHaloBudget:
     @pytest.mark.parametrize("mode", ["ca", "ca_overlap"])
     def test_mpk_mode_does_not_change_allreduce_budget(self, mode):
         """CA trades halo latency only — global reductions are the
-        ortho schemes' business and must not move."""
-        _, std_all, std_ortho = run_one_cycle(
+        ortho schemes' business: neither their count nor their payload
+        may move."""
+        std_total, std_ortho = run_one_cycle(
             lambda: TwoStageScheme(big_step=RESTART), "loop")
-        _, ca_all, ca_ortho = run_one_cycle(
+        ca_total, ca_ortho = run_one_cycle(
             lambda: TwoStageScheme(big_step=RESTART), "loop", mpk_mode=mode)
-        assert ca_all == std_all
-        assert ca_ortho == std_ortho
+        assert ca_total["allreduce"] == std_total["allreduce"]
+        assert ca_ortho["allreduce"] == std_ortho["allreduce"]
 
 
 class TestAllreduceBudget:
     """Per-cycle global-reduction budgets per orthogonalization scheme."""
 
+    @staticmethod
+    def _check(total, ortho, *, count, ortho_bytes):
+        assert ortho["allreduce"]["count"] == count
+        assert total["allreduce"]["count"] == count + 1
+        assert ortho["allreduce"]["bytes"] == ortho_bytes
+        assert (total["allreduce"]["bytes"] - ortho["allreduce"]["bytes"]
+                == RESIDUAL_NORM_BYTES)
+
     @pytest.mark.parametrize("engine", ENGINES)
     def test_two_stage(self, engine):
-        _, total, ortho = run_one_cycle(
+        total, ortho = run_one_cycle(
             lambda: TwoStageScheme(big_step=RESTART), engine)
         # one fused stage-1 reduce per panel + one stage-2 pass at the
         # cycle end + the residual-norm reduce
-        assert ortho == PANELS + 1
-        assert total == ortho + 1
+        self._check(total, ortho, count=PANELS + 1,
+                    ortho_bytes=TWO_STAGE_ORTHO_BYTES)
 
     @pytest.mark.parametrize("engine", ENGINES)
     def test_bcgs_pip2(self, engine):
-        _, total, ortho = run_one_cycle(BCGSPIP2Scheme, engine)
+        total, ortho = run_one_cycle(BCGSPIP2Scheme, engine)
         # the paper's one-stage baseline: 2 fused reduces per panel
-        assert ortho == 2 * PANELS
-        assert total == ortho + 1
+        self._check(total, ortho, count=2 * PANELS,
+                    ortho_bytes=BCGS_PIP2_ORTHO_BYTES)
 
     @pytest.mark.parametrize("engine", ENGINES)
     def test_fused_sketched_two_stage(self, engine):
-        _, total, ortho = run_one_cycle(
+        total, ortho = run_one_cycle(
             lambda: SketchedTwoStageScheme(big_step=RESTART, fused=True),
             engine, solve_mode="sketched")
         # the RGS contract: ONE collective per stage pass (6 panel
         # passes + 1 cycle-end pass), and the sketched solve path reuses
         # the scheme's basis sketch at zero extra collectives
-        assert ortho == PANELS + 1
-        assert total == ortho + 1
+        self._check(total, ortho, count=PANELS + 1,
+                    ortho_bytes=FUSED_SKETCHED_ORTHO_BYTES)
 
     @pytest.mark.parametrize("engine", ENGINES)
     def test_rbcgs(self, engine):
-        _, total, ortho = run_one_cycle(RBCGSScheme, engine)
+        total, ortho = run_one_cycle(RBCGSScheme, engine)
         # sketch + projection + normalization reduces per panel
-        assert ortho == 3 * PANELS
-        assert total == ortho + 1
+        self._check(total, ortho, count=3 * PANELS,
+                    ortho_bytes=RBCGS_ORTHO_BYTES)
 
     def test_two_stage_beats_one_stage_budget(self):
-        """The paper's core claim in count form."""
-        _, _, two = run_one_cycle(
+        """The paper's core claim in count form: fewer synchronizations,
+        even though the fused stage-1 messages are individually fatter."""
+        _, two = run_one_cycle(
             lambda: TwoStageScheme(big_step=RESTART), "loop")
-        _, _, one = run_one_cycle(BCGSPIP2Scheme, "loop")
-        assert two < one
+        _, one = run_one_cycle(BCGSPIP2Scheme, "loop")
+        assert two["allreduce"]["count"] < one["allreduce"]["count"]
+        assert two["allreduce"]["bytes"] > one["allreduce"]["bytes"]

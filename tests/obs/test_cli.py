@@ -47,6 +47,69 @@ class TestSummarize:
         assert "no spans" in capsys.readouterr().out
 
 
+class TestSummarizeJson:
+    def test_machine_readable_document(self, twin_trace, capsys):
+        assert main(["summarize", str(twin_trace), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert set(doc["streams"]) == {"modeled", "measured"}
+        mea = doc["streams"]["measured"]
+        assert mea["rank_lanes"] == 1
+        assert mea["collective_payload_bytes"] == 72.0
+        assert mea["totals"]["by_kernel"]["spmv/halo"] == 3.0
+        assert mea["totals"]["payload_bytes"]["spmv/halo"] == 64.0
+        assert doc["n_spans"] == sum(s["spans"]
+                                     for s in doc["streams"].values())
+
+    def test_empty_trace_still_emits_json_but_fails(self, tmp_path, capsys):
+        path = tmp_path / "empty.json"
+        path.write_text('{"traceEvents": []}\n')
+        assert main(["summarize", str(path), "--json"]) == 1
+        assert json.loads(capsys.readouterr().out) == {"n_spans": 0,
+                                                       "streams": {}}
+
+
+class TestMetrics:
+    def test_replay_modeled_stream(self, twin_trace, capsys):
+        assert main(["metrics", str(twin_trace)]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["machine"] == "summit"
+        assert doc["ranks"] == 1  # one rank lane in the fixture
+        assert doc["kernels"]["spmv/halo"]["seconds"] == 1.0
+        assert doc["net_bytes"]["allreduce"] == 8.0
+
+    def test_prometheus_flag(self, twin_trace, capsys):
+        assert main(["metrics", str(twin_trace), "--prometheus",
+                     "--stream", "measured", "--ranks", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_kernel_seconds_total counter" in out
+        assert 'repro_net_bytes_total{kind="halo"} 64.0' in out
+
+    def test_missing_stream_fails(self, tmp_path, capsys):
+        t = Tracer()  # modeled-only trace
+        t.enable_spans()
+        t.add("dot", 1.0)
+        path = export_chrome_trace(tmp_path / "m.json", t)
+        assert main(["metrics", str(path), "--stream", "measured"]) == 1
+        assert "no driver kernel spans" in capsys.readouterr().err
+
+
+class TestCalibrate:
+    def test_human_table(self, twin_trace, capsys):
+        assert main(["calibrate", str(twin_trace), "--ranks", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "calibrated 'summit'" in out
+        assert "net_bandwidth_inter" in out and "->" in out
+
+    def test_json_fit_document(self, twin_trace, capsys):
+        assert main(["calibrate", str(twin_trace), "--ranks", "4",
+                     "--machine", "generic_cpu", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["base_machine"] == "generic_cpu"
+        assert doc["ranks"] == 4
+        assert doc["n_net_pairs"] + doc["n_kernel_pairs"] > 0
+        assert set(doc["constants"]) >= {"net_latency_intra", "peak_flops"}
+
+
 class TestDiff:
     def test_self_diff_twin_file(self, twin_trace, capsys):
         assert main(["diff", str(twin_trace)]) == 0

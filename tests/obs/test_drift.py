@@ -108,3 +108,96 @@ class TestDriftReport:
         assert len(doc["phases"]) == 2
         text = rep.summary()
         assert "spmv" in text and "max share drift" in text
+
+
+class TestDriftEdgeCases:
+    """Degenerate inputs the monitor must survive, not just the happy
+    mp-backend twin: span-less tracers, streams that agree on nothing,
+    and single-phase solves where share drift is vacuous."""
+
+    def _accumulate(self, pairs, spans=False):
+        """Tracer with given (phase, kernel, seconds) charges."""
+        t = Tracer()
+        if spans:
+            t.enable_spans()
+        for phase, kernel, seconds in pairs:
+            with t.phase(phase):
+                t.add(kernel, seconds)
+        return t
+
+    def test_empty_span_streams_still_report_totals_drift(self):
+        """Accumulators without spans (the default) must yield a full
+        share-drift report with zero pairing, not an error."""
+        modeled = self._accumulate([("spmv", "halo", 1.0),
+                                    ("ortho", "dot", 3.0)])
+        measured = self._accumulate([("spmv", "halo", 2.0),
+                                     ("ortho", "dot", 2.0)])
+        rep = drift_report(modeled, measured)
+        assert rep.spans_paired == 0 and rep.span_mismatches == 0
+        assert math.isclose(rep.max_share_drift, 0.25)
+        assert all(p.spans_paired == 0 for p in rep.phases)
+
+    def test_explicit_empty_span_lists(self):
+        modeled = self._accumulate([("spmv", "halo", 1.0)], spans=True)
+        measured = self._accumulate([("spmv", "halo", 2.0)], spans=True)
+        rep = drift_report(modeled, measured,
+                           modeled_spans=[], measured_spans=[])
+        assert rep.spans_paired == 0 and rep.span_mismatches == 0
+
+    def test_one_sided_span_stream_counts_every_span_mismatched(self):
+        """Modeled spans with nothing to pair against: each is a
+        mismatch, and no phase claims a pairing."""
+        modeled = self._accumulate([("spmv", "halo", 1.0),
+                                    ("ortho", "dot", 3.0)], spans=True)
+        measured = self._accumulate([("spmv", "halo", 2.0),
+                                     ("ortho", "dot", 2.0)])
+        rep = drift_report(modeled, measured)
+        assert rep.spans_paired == 0 and rep.span_mismatches == 2
+        assert all(p.spans_paired == 0 for p in rep.phases)
+
+    def test_fully_mismatched_streams(self):
+        """Streams that disagree on every charge: zero pairs, every
+        span counted, and the totals-level drift still gates."""
+        modeled = self._accumulate([("spmv", "halo", 1.0),
+                                    ("ortho", "dot", 1.0)], spans=True)
+        measured = self._accumulate([("ortho", "dot", 2.0),
+                                     ("spmv", "halo", 2.0)], spans=True)
+        measured_spans = [
+            SpanEvent(s.name, s.t0, s.t1, s.phase, "measured", cat=s.cat)
+            for s in measured.spans]
+        rep = drift_report(modeled, measured,
+                           measured_spans=measured_spans)
+        assert rep.spans_paired == 0
+        assert rep.span_mismatches == 2
+        assert rep.within(DEFAULT_DRIFT_BOUND)
+        doc = rep.to_dict()
+        assert doc["span_mismatches"] == 2
+
+    def test_single_phase_traces_have_vacuous_share_drift(self):
+        """With one phase on both sides the shares are 1.0 vs 1.0 —
+        drift is exactly zero regardless of scale, and the scale factor
+        absorbs the whole relative error."""
+        modeled = self._accumulate([("spmv", "halo", 1.0)], spans=True)
+        measured = self._accumulate([("spmv", "halo", 100.0)], spans=True)
+        measured_spans = [
+            SpanEvent(s.name, s.t0, s.t1, s.phase, "measured", cat=s.cat)
+            for s in measured.spans]
+        rep = drift_report(modeled, measured,
+                           measured_spans=measured_spans)
+        assert rep.scale == 100.0
+        assert rep.max_share_drift == 0.0
+        assert rep.within(1.0e-12)
+        (phase,) = rep.phases
+        assert phase.modeled_share == 1.0 and phase.measured_share == 1.0
+        assert phase.rel_error == 0.0
+        assert phase.spans_paired == 1
+
+    def test_single_phase_one_sided_is_maximal_drift(self):
+        """A phase the model never charged takes the whole measured
+        share: drift 1.0, rel error infinite."""
+        modeled = self._accumulate([("spmv", "halo", 1.0)])
+        measured = self._accumulate([("precond", "host", 2.0)])
+        rep = drift_report(modeled, measured)
+        assert math.isclose(rep.max_share_drift, 1.0)
+        assert rep.phase_drift("precond").rel_error == float("inf")
+        assert not rep.within(DEFAULT_DRIFT_BOUND)

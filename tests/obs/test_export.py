@@ -107,3 +107,18 @@ class TestRoundTrips:
         spans = [SpanEvent("dot", 0.0, 1.0, "other", "modeled")]
         doc = chrome_trace_doc(spans, ())
         assert sum(e["ph"] == "X" for e in doc["traceEvents"]) == 1
+
+    def test_driver_side_round_trips_both_formats(self, tmp_path):
+        spans = [SpanEvent("dot", 0.0, 1.0, "ortho", "modeled",
+                           driver_side=True),
+                 SpanEvent("allreduce", 1.0, 2.0, "ortho", "modeled")]
+        chrome = export_chrome_trace(tmp_path / "d.json", spans)
+        jsonl = export_jsonl(tmp_path / "d.jsonl", spans)
+        for path in (chrome, jsonl):
+            loaded = sorted(load_spans(path), key=lambda s: s.t0)
+            assert [s.driver_side for s in loaded] == [True, False]
+        # the flag only appears in args when set
+        doc = json.loads(chrome.read_text())
+        xs = {e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert xs["dot"]["args"]["driver_side"] is True
+        assert "driver_side" not in xs["allreduce"]["args"]

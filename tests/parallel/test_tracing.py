@@ -136,6 +136,37 @@ class TestAccessors:
                                                 "bcast": 1}
         assert t.sync_count("ortho") == 2
 
+    def test_collective_counts_with_payload_bytes(self):
+        t = Tracer()
+        with t.phase("ortho"):
+            t.add("allreduce", 0.1, count=2, payload_bytes=64.0)
+        with t.phase("spmv"):
+            t.add("halo", 0.1, payload_bytes=256.0)
+            t.add("allreduce", 0.1, payload_bytes=8.0)
+        assert t.collective_counts(payload_bytes=True) == {
+            "allreduce": {"count": 3, "bytes": 72.0},
+            "halo": {"count": 1, "bytes": 256.0},
+            "bcast": {"count": 0, "bytes": 0.0}}
+        assert t.collective_counts("ortho", payload_bytes=True) == {
+            "allreduce": {"count": 2, "bytes": 64.0},
+            "halo": {"count": 0, "bytes": 0.0},
+            "bcast": {"count": 0, "bytes": 0.0}}
+
+    def test_payload_accumulator_and_since_diff(self):
+        t = Tracer()
+        with t.phase("ortho"):
+            t.add("allreduce", 0.1, payload_bytes=64.0)
+        snap = t.snapshot()
+        with t.phase("ortho"):
+            t.add("allreduce", 0.1, payload_bytes=16.0)
+        assert t.payload_bytes[("ortho", "allreduce")] == 80.0
+        d = t.since(snap)
+        assert d.payload_bytes[("ortho", "allreduce")] == 16.0
+        doc = t.snapshot().to_dict()
+        assert doc["payload_bytes"] == {"ortho/allreduce": 80.0}
+        t.reset()
+        assert t.payload_bytes == {}
+
 
 class TestSpanStream:
     def test_disabled_by_default_and_records_nothing(self):
@@ -194,6 +225,32 @@ class TestSpanStream:
         assert t.spans[0].stream == "measured"
         assert t.report().startswith("measured clock:")
 
+    def test_driver_side_stamped_on_spans(self):
+        t = Tracer()
+        t.enable_spans()
+        t.add("dot", 0.5, driver_side=True)
+        t.add("dot", 0.5)
+        t.record_span("update", 1.0, 1.5, driver_side=True)
+        flags = [s.driver_side for s in t.spans]
+        assert flags == [True, False, True]
+
+    def test_attached_metrics_observe_every_charge(self):
+        class Probe:
+            observed = []
+
+            def observe(self, *args):
+                Probe.observed.append(args)
+
+        t = Tracer()
+        t.attach_metrics(Probe())
+        with t.phase("ortho"):
+            t.add("allreduce", 0.5, count=2, payload_bytes=8.0,
+                  driver_side=True)
+        assert Probe.observed == [("ortho", "allreduce", 0.5, 2, 8.0, True)]
+        t.detach_metrics()
+        t.add("dot", 1.0)
+        assert len(Probe.observed) == 1
+
 
 class TestSharePhaseStack:
     """Regression for the mp backend's modeled twin: one phase()/cycle
@@ -229,7 +286,8 @@ class TestSharePhaseStack:
 class TestSerialization:
     def test_span_event_round_trip(self):
         s = SpanEvent("allreduce", 1.0, 1.5, "ortho", "measured",
-                      count=2, payload_bytes=8.0, cycle=4, rank=1)
+                      count=2, payload_bytes=8.0, cycle=4, rank=1,
+                      driver_side=True)
         assert SpanEvent.from_dict(s.to_dict()) == s
 
     def test_span_event_from_sparse_dict_defaults(self):
@@ -237,6 +295,7 @@ class TestSerialization:
         assert (s.phase, s.stream, s.cat, s.count) == (
             "other", "modeled", "kernel", 1)
         assert s.payload_bytes is None and s.rank is None
+        assert s.driver_side is False
 
     def test_totals_to_dict_flattens_keys(self):
         t = Tracer()

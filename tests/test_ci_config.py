@@ -146,6 +146,29 @@ class TestWorkflow:
                 > runs.index(next(r for r in runs
                                   if "backend_validation" in r)))
 
+    def test_nightly_calibration_step(self):
+        """The LogGP calibration experiment runs nightly under a hard
+        timeout and drops BENCH_calibration.json plus the Prometheus
+        metrics snapshot into the uploaded experiment-out/ directory."""
+        yaml = pytest.importorskip("yaml")
+        doc = yaml.safe_load(WORKFLOW.read_text())
+        steps = doc["jobs"]["nightly"]["steps"]
+        cal = [s for s in steps
+               if "repro.experiments.calibration" in s.get("run", "")]
+        assert cal, "nightly has no calibration step"
+        run = cal[0]["run"]
+        assert "--quick" in run
+        assert "--out experiment-out" in run
+        assert "timeout" in run
+        # runs after the backend validation it mirrors, before upload
+        runs = [s.get("run", "") for s in steps]
+        assert (runs.index(run)
+                > runs.index(next(r for r in runs
+                                  if "backend_validation" in r)))
+        uploads = [i for i, s in enumerate(steps)
+                   if "upload-artifact" in str(s.get("uses", ""))]
+        assert steps.index(cal[0]) < uploads[0]
+
     def test_bench_smoke_span_overhead_gate(self):
         """bench-smoke asserts the disabled span path stays free and
         charge-identical, protecting the committed baselines."""
@@ -188,7 +211,8 @@ class TestWorkflow:
                     "src/repro/experiments/precision_stability.py",
                     "src/repro/experiments/ca_mpk_tradeoff.py",
                     "src/repro/experiments/overlap_tradeoff.py",
-                    "src/repro/experiments/backend_validation.py"):
+                    "src/repro/experiments/backend_validation.py",
+                    "src/repro/experiments/calibration.py"):
             path = ref
             if ref.startswith("src/repro/experiments/"):
                 # referenced as a module invocation in the nightly job

@@ -17,7 +17,7 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 DOCS = REPO / "docs"
 PAGES = ("architecture.md", "cost-model.md", "solvers.md",
-         "experiments.md")
+         "experiments.md", "observability.md")
 
 
 class TestExperimentsCatalogue:
