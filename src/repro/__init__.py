@@ -59,7 +59,9 @@ from repro.ortho import (
 )
 from repro.precision import PrecisionPolicy, resolve_policy
 from repro.krylov import (Simulation, SolverOptions, adaptive_sstep_gmres,
-                          gmres, gmres_ir, pipelined_gmres, sstep_gmres)
+                          block_sstep_gmres, gmres, gmres_ir,
+                          pipelined_gmres, sstep_gmres)
+from repro import service
 
 __all__ = [
     "__version__",
@@ -106,7 +108,9 @@ __all__ = [
     "SolverOptions",
     "gmres",
     "sstep_gmres",
+    "block_sstep_gmres",
     "gmres_ir",
     "adaptive_sstep_gmres",
     "pipelined_gmres",
+    "service",
 ]

@@ -140,6 +140,31 @@ class DistSparseMatrix:
         comm.charge_local("spmv_local", costs)
         return out
 
+    def matvec_batched(self, xs: list[DistMultiVector],
+                       outs: list[DistMultiVector | None] | None = None
+                       ) -> list[DistMultiVector]:
+        """Several :meth:`matvec` applications as ONE charged pass.
+
+        Values are identical to per-operand calls; the modeled charges
+        fuse under :class:`repro.parallel.batch.BatchCharges` — one halo
+        exchange whose payload carries every operand's ghost rows, one
+        local-SpMV launch over the stacked operands.  The batched
+        multi-RHS solver's panel generation is exactly this pattern.
+        """
+        if outs is None:
+            outs = [None] * len(xs)
+        if len(outs) != len(xs):
+            raise ShapeError(
+                f"{len(xs)} operands but {len(outs)} output vectors")
+        from repro.parallel.batch import BatchCharges
+        results: list[DistMultiVector] = []
+        with BatchCharges(self.comm) as batch:
+            with batch.group():
+                for x, out in zip(xs, outs):
+                    with batch.member():
+                        results.append(self.matvec(x, out=out))
+        return results
+
     def to_scipy(self) -> sp.csr_matrix:
         """Reassemble the global CSR matrix (testing/diagnostics)."""
         return sp.vstack(self.local_blocks, format="csr")

@@ -23,6 +23,7 @@ from repro.experiments import (
     overlap_tradeoff,
     precision_stability,
     rgs_convergence,
+    service_throughput,
     sketch_stability,
     table2,
     table3,
@@ -47,6 +48,7 @@ _DISPATCH = {
     "precision": precision_stability.main,
     "ca_mpk": ca_mpk_tradeoff.main,
     "overlap": overlap_tradeoff.main,
+    "service": service_throughput.main,
     "backend": backend_validation.main,
     "calibrate": calibration.main,
 }
@@ -79,6 +81,8 @@ def run_all_quick() -> None:
         nx=48, ranks=8, s=5, restart=15, bw_inter=1.0e6,
         multipliers=overlap_tradeoff.LATENCY_MULTIPLIERS[:-1])[0].render(),
         "\n")
+    print(service_throughput.run(nx=12, ranks=4, s=4, restart=12)[0]
+          .render(), "\n")
     print(backend_validation.run(nx=24, restart=12, repeats=1)[0].render(),
           "\n")
     print(calibration.run(nx=24, restart=12)[0].render(), "\n")

@@ -18,6 +18,7 @@ from repro.krylov.mpk import MatrixPowersKernel, PreconditionedOperator
 from repro.krylov.hessenberg import assemble_hessenberg, least_squares_residual
 from repro.krylov.gmres import gmres
 from repro.krylov.sstep_gmres import sstep_gmres
+from repro.krylov.block import block_sstep_gmres
 from repro.krylov.ir import gmres_ir
 from repro.krylov.adaptive import adaptive_sstep_gmres
 from repro.krylov.pipelined import pipelined_gmres
@@ -37,6 +38,7 @@ __all__ = [
     "least_squares_residual",
     "gmres",
     "sstep_gmres",
+    "block_sstep_gmres",
     "gmres_ir",
     "adaptive_sstep_gmres",
     "pipelined_gmres",

@@ -33,8 +33,12 @@ SOLVE_MODES = ("classical", "sketched", "adaptive")
 #: Valid ``mpk_mode`` values: the three kernel modes plus ``"auto"``
 #: (communication-avoiding whenever the preconditioner composes,
 #: standard otherwise — the fallback the paper's Trilinos setting
-#: hard-codes; ``auto`` never escalates to the overlapped PA2 kernel,
-#: which must be requested explicitly).
+#: hard-codes).  ``auto`` escalates to the overlapped PA2 kernel when
+#: the cost model predicts the deep-ring exchange hides entirely behind
+#: the first owned-rows SpMV (see
+#: :func:`repro.krylov.mpk.overlap_ring_hides`); on latency-bound
+#: machines where the ring pokes out of that window it stays on plain
+#: ``"ca"``.
 MPK_SOLVER_MODES = ("standard", "ca", "ca_overlap", "auto")
 
 #: Default leave-one-out distortion above which a sketched solve redraws
@@ -77,8 +81,12 @@ class SolverOptions:
         (the PA2 variant of ``"ca"``: eager depth-1 shell, deep ring
         posted nonblocking and overlapped with the first local SpMV;
         unpreconditioned operators only), or ``"auto"`` (CA when the
-        preconditioner composes, standard fallback otherwise — never
-        the overlapped kernel, which must be requested explicitly).
+        preconditioner composes, standard fallback otherwise; picks
+        ``"ca_overlap"`` over ``"ca"`` when
+        :func:`repro.krylov.mpk.overlap_ring_hides` predicts the deep
+        ring fully hides behind the first owned-rows SpMV — true on
+        bandwidth-rich machines, false once network latency inflates
+        the ring's fixed cost past the compute window).
         All kernels generate bit-identical bases; only the
         communication profile — and hence the modeled time — differs.
     comm_overlap:

@@ -48,7 +48,11 @@ from repro.krylov.hessenberg import (
     least_squares_residual,
     sketched_least_squares,
 )
-from repro.krylov.mpk import MatrixPowersKernel, PreconditionedOperator
+from repro.krylov.mpk import (
+    MatrixPowersKernel,
+    PreconditionedOperator,
+    resolve_mpk_mode,
+)
 from repro.krylov.options import (  # noqa: F401  (re-exported for back-compat)
     DEFAULT_RESKETCH_THRESHOLD,
     MPK_SOLVER_MODES,
@@ -62,6 +66,7 @@ from repro.obs.telemetry import SolveTelemetry
 from repro.ortho.base import BlockOrthoScheme, OrthoObserver
 from repro.ortho.bcgs_pip import BCGSPIP2Scheme
 from repro.precision.kernels import MixedPrecisionTwoStageScheme
+from repro.precision.dtypes import word_bytes as _bytes_per_word
 from repro.precision.policy import resolve_policy
 from repro.precond.base import Preconditioner
 from repro.sketch import (
@@ -237,6 +242,67 @@ def sstep_gmres(sim: Simulation, b: np.ndarray,
         ``SolverOptions`` field raises :class:`TypeError`.
     """
     opts = _resolve_options(options, legacy)
+    if restart < s:
+        raise ConfigurationError(f"restart {restart} must be >= step {s}")
+    policy = resolve_policy(opts.precision)
+    if scheme is None:
+        scheme = _default_scheme(policy, restart)
+    poly = _resolve_basis(basis)
+    snap = sim.tracer.snapshot()
+
+    if precond is not None and not precond.is_setup:
+        precond.setup(sim.matrix)
+    op = PreconditionedOperator(sim.matrix, precond)
+    kernel_mode = resolve_mpk_mode(op, opts.mpk_mode, sim.comm, s,
+                                   word_bytes=_bytes_per_word(policy.storage))
+    mpk = MatrixPowersKernel(op, poly, mode=kernel_mode)
+    gen = _solve_member(sim, b, x0, s=s, restart=restart, tol=tol,
+                        maxiter=maxiter, scheme=scheme, poly=poly, op=op,
+                        mpk=mpk, kernel_mode=kernel_mode, observer=observer,
+                        opts=opts, policy=policy, snap=snap)
+    while True:
+        try:
+            next(gen)
+        except StopIteration as stop:
+            return stop.value
+
+
+def _default_scheme(policy, restart: int) -> BlockOrthoScheme:
+    """The no-``scheme`` default: dd-Gram policies need the
+    mixed-precision two-stage scheme, everything else BCGS-PIP2."""
+    return (MixedPrecisionTwoStageScheme(big_step=restart,
+                                         gram=policy.gram,
+                                         breakdown="shift")
+            if policy.gram != "fp64" else BCGSPIP2Scheme())
+
+
+def _solve_member(sim: Simulation, b: np.ndarray, x0: np.ndarray | None, *,
+                  s: int, restart: int, tol: float, maxiter: int,
+                  scheme: BlockOrthoScheme, poly: KrylovBasis,
+                  op: PreconditionedOperator, mpk: MatrixPowersKernel,
+                  kernel_mode: str, observer: OrthoObserver | None,
+                  opts: SolverOptions, policy, snap):
+    """The full s-step GMRES iteration for ONE right-hand side, as a
+    generator that yields at every lockstep barrier.
+
+    Driving the generator to exhaustion IS the scalar solver —
+    :func:`sstep_gmres` does exactly that, so the charge stream and
+    every numerical value are the unbatched solve's by construction.
+    :func:`repro.krylov.block.block_sstep_gmres` instead advances ``b``
+    member generators round-robin, one yield per fusion group, under
+    :class:`repro.parallel.batch.BatchCharges`.  Yield points delimit
+    the units whose kernels fuse across members: the explicit-residual
+    pass, cycle setup, each panel's basis extension, each panel's
+    orthogonalization/checkpoint, the cycle flush, and the solution
+    update.  The member owns ALL its numerical state (basis, scheme,
+    factors, polynomial, telemetry); only the operator/preconditioner —
+    stateless per apply — may be shared.
+
+    Returns (via ``StopIteration.value``) the member's
+    :class:`SolveResult`; ``times`` are read from ``tracer.since(snap)``
+    — in a batch this is the shared timeline up to the member's own
+    exit.
+    """
     solve_mode = opts.solve_mode
     mpk_mode = opts.mpk_mode
     sketch_operator = opts.sketch_operator
@@ -245,25 +311,8 @@ def sstep_gmres(sim: Simulation, b: np.ndarray,
     resketch_threshold = opts.resketch_threshold
     adaptive_cond_threshold = opts.adaptive_cond_threshold
     adaptive_gap_threshold = opts.adaptive_gap_threshold
-    if restart < s:
-        raise ConfigurationError(f"restart {restart} must be >= step {s}")
-    policy = resolve_policy(opts.precision)
-    if scheme is None:
-        scheme = (MixedPrecisionTwoStageScheme(big_step=restart,
-                                               gram=policy.gram,
-                                               breakdown="shift")
-                  if policy.gram != "fp64" else BCGSPIP2Scheme())
-    poly = _resolve_basis(basis)
     tracer = sim.tracer
     backend = sim.backend
-    snap = tracer.snapshot()
-
-    if precond is not None and not precond.is_setup:
-        precond.setup(sim.matrix)
-    op = PreconditionedOperator(sim.matrix, precond)
-    kernel_mode = (("ca" if op.supports_ca else "standard")
-                   if mpk_mode == "auto" else mpk_mode)
-    mpk = MatrixPowersKernel(op, poly, mode=kernel_mode)
 
     b = np.asarray(b, dtype=np.float64).ravel()
     b_vec = sim.vector_from(b)
@@ -313,6 +362,7 @@ def sstep_gmres(sim: Simulation, b: np.ndarray,
     tel = SolveTelemetry()        # one CycleRecord per restart cycle
 
     while iters < maxiter and not converged:
+        yield "residual"
         gamma = _explicit_residual(sim, b_vec, x_vec, r_vec)
         if beta0 is None:
             beta0 = gamma if gamma > 0 else 1.0
@@ -347,6 +397,7 @@ def sstep_gmres(sim: Simulation, b: np.ndarray,
         if rel_res <= tol:
             converged = True
             break
+        yield "setup"
         tel.begin_cycle(restarts, mode=mode)
         tracer.set_cycle(restarts)
         poly.new_cycle(h_prev)
@@ -430,10 +481,12 @@ def sstep_gmres(sim: Simulation, b: np.ndarray,
         cycle_converged = False
         breakdown = False
         for lo, hi in bounds:
+            yield "extend"
             if lo > 0:
                 start_state[lo - 1] = ("final" if scheme.final_cols >= lo
                                        else "pre")
             mpk.extend(basis_mv, max(lo, 1), hi)
+            yield "panel"
             try:
                 with tracer.phase("ortho"):
                     final = scheme.panel_arrived(lo, hi)
@@ -452,6 +505,7 @@ def sstep_gmres(sim: Simulation, b: np.ndarray,
                 break
             if iters >= maxiter:
                 break
+        yield "finish"
         if not cycle_converged:
             try:
                 with tracer.phase("ortho"):
@@ -463,6 +517,7 @@ def sstep_gmres(sim: Simulation, b: np.ndarray,
             if flushed:
                 cycle_converged = _check(scheme.final_cols)
 
+        yield "update"
         # solution update from the last final checkpoint
         if best is not None:
             c, y = best

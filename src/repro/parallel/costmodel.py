@@ -175,6 +175,25 @@ class CostModel:
         """
         return self.host_dense(8.0 * level_nnz + 32.0 * level_rows)
 
+    def srht_apply(self, n_pad: float, n_cols: float, m_rows: float,
+                   word_bytes: float = _DOUBLE) -> float:
+        """Batched FFT-style SRHT: one fast Walsh–Hadamard transform over
+        the zero-padded shard, applied to all ``n_cols`` columns at once.
+
+        The butterfly network does ``n_pad log2(n_pad)`` adds per column
+        (versus ``2 m n_pad`` for the explicit tall GEMM the closed-form
+        operator charges), then gathers and sign-flips the ``m_rows``
+        sampled rows.  Bytes: stream the padded work array in and out
+        once — the log2(n_pad) passes are cache-tiled — plus the sampled
+        output.  Used by :class:`repro.sketch.operators.FastSRHTSketch`.
+        """
+        lg = max(1.0, math.log2(max(n_pad, 2.0)))
+        flops = n_pad * lg * n_cols + 2.0 * m_rows * n_cols
+        bytes_moved = word_bytes * (2.0 * n_pad * n_cols
+                                    + m_rows * n_cols)
+        return self._roofline(flops, bytes_moved,
+                              self.machine.stream_efficiency)
+
     # ------------------------------------------------------------------
     # communication
     # ------------------------------------------------------------------
@@ -251,3 +270,36 @@ class CostModel:
         return (m.device_sync_latency + t_lat
                 + vol_intra / m.net_bandwidth_intra
                 + vol_inter / m.net_bandwidth_inter)
+
+    # ------------------------------------------------------------------
+    # batched (multi-solve) charging
+    # ------------------------------------------------------------------
+    def fixed_cost(self, kernel: str, ranks: int) -> float:
+        """Width-independent seconds of ONE charged ``kernel`` occurrence.
+
+        Every formula above is affine in its shape: ``t = fixed +
+        work(shape)`` where the fixed part (launch latency, device
+        syncs, per-hop message latency) does not grow with the operand.
+        A fused pass over ``b`` stacked operands therefore pays the
+        fixed part once and the work term per member — this method is
+        the split :class:`repro.parallel.batch.BatchCharges` subtracts
+        from follower members' charges.  Host-side redundant math
+        (``host``, ``ghost_plan``) has no launch cost and batching buys
+        it nothing.
+        """
+        m = self.machine
+        if kernel == "allreduce":
+            return self.allreduce(0.0, ranks)
+        if kernel == "bcast":
+            return self.bcast(0.0, ranks)
+        if kernel == "halo":
+            if ranks <= 1:
+                return 0.0
+            lat = (m.net_latency_inter if m.nodes_for(ranks) > 1
+                   else m.net_latency_intra)
+            return m.device_sync_latency + lat
+        if kernel == "spmv_local":
+            return m.kernel_latency + m.spmv_fixed_overhead
+        if kernel in ("host", "ghost_plan"):
+            return 0.0
+        return m.kernel_latency

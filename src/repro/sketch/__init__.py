@@ -18,6 +18,7 @@ benchmarks all draw on:
 
 from repro.sketch.operators import (
     OPERATOR_FAMILIES,
+    FastSRHTSketch,
     GaussianSketch,
     SRHTSketch,
     SketchOperator,
@@ -32,7 +33,10 @@ from repro.sketch.precondition import (
     right_apply_inverse,
     sketch_qr,
 )
-from repro.sketch.distributed import sketch_multivector
+from repro.sketch.distributed import (
+    sketch_multivector,
+    sketch_multivector_batched,
+)
 from repro.sketch.quality import leave_one_out_distortion
 from repro.sketch.seeding import derive_seed
 
@@ -41,12 +45,14 @@ __all__ = [
     "SparseSignSketch",
     "GaussianSketch",
     "SRHTSketch",
+    "FastSRHTSketch",
     "OPERATOR_FAMILIES",
     "canonical_family",
     "embedding_dim",
     "sketch_rows",
     "make_operator",
     "sketch_multivector",
+    "sketch_multivector_batched",
     "sketch_qr",
     "right_apply_inverse",
     "DEFAULT_RANK_TOL",

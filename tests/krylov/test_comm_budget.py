@@ -179,3 +179,67 @@ class TestAllreduceBudget:
         _, one = run_one_cycle(BCGSPIP2Scheme, "loop")
         assert two["allreduce"]["count"] < one["allreduce"]["count"]
         assert two["allreduce"]["bytes"] > one["allreduce"]["bytes"]
+
+
+class TestBlockSolverBudget:
+    """The batched multi-RHS solver's frozen per-cycle budgets.
+
+    The contract: a width-``w`` batch keeps the scalar solver's
+    collective *count* budget exactly (the whole point of fusing the
+    members' charges) while every payload budget scales exactly ``w``
+    fold — messages concatenate, they are never re-scheduled.
+    """
+
+    @staticmethod
+    def run_block_cycle(width, engine, scheme_factory, **option_kw):
+        import numpy as np
+
+        from repro.krylov.block import block_sstep_gmres
+        sim = Simulation(laplace2d(16), ranks=4, machine=generic_cpu(),
+                         engine=engine)
+        rng = np.random.default_rng(0)
+        cols = rng.standard_normal((sim.n, width))
+        results = block_sstep_gmres(
+            sim, cols, s=S, restart=RESTART, tol=1e-30, maxiter=RESTART,
+            scheme_factory=scheme_factory,
+            options=SolverOptions(**option_kw))
+        assert all(r.restarts == 1 for r in results)
+        total = sim.tracer.collective_counts(payload_bytes=True)
+        assert total["bcast"] == {"count": 0, "bytes": 0.0}
+        return total
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("width", [2, 4])
+    def test_two_stage_counts_frozen_bytes_scale(self, width, engine):
+        total = self.run_block_cycle(
+            width, engine, lambda: TwoStageScheme(big_step=RESTART))
+        # scalar budgets verbatim: counts must NOT grow with the width
+        assert total["allreduce"]["count"] == PANELS + 1 + 1
+        assert total["halo"]["count"] == 1 + RESTART
+        # payloads are exactly width x the scalar budgets
+        assert total["allreduce"]["bytes"] == width * (
+            TWO_STAGE_ORTHO_BYTES + RESIDUAL_NORM_BYTES)
+        assert total["halo"]["bytes"] == width * (
+            (1 + RESTART) * HALO_EXCHANGE_BYTES)
+
+    @pytest.mark.parametrize("width", [2, 4])
+    def test_bcgs_pip2_ca_counts_frozen_bytes_scale(self, width):
+        total = self.run_block_cycle(
+            width, "loop", BCGSPIP2Scheme, mpk_mode="ca")
+        assert total["allreduce"]["count"] == 2 * PANELS + 1
+        assert total["halo"]["count"] == 1 + PANELS
+        assert total["allreduce"]["bytes"] == width * (
+            BCGS_PIP2_ORTHO_BYTES + RESIDUAL_NORM_BYTES)
+        assert total["halo"]["bytes"] == width * CA_HALO_BYTES
+
+    def test_width_independence_across_widths(self):
+        """Same count doc at every width; bytes in exact proportion."""
+        docs = {w: self.run_block_cycle(
+            w, "loop", lambda: TwoStageScheme(big_step=RESTART))
+            for w in (1, 2, 4)}
+        base = docs[1]
+        for w in (2, 4):
+            assert {k: v["count"] for k, v in docs[w].items()} \
+                == {k: v["count"] for k, v in base.items()}
+            assert {k: v["bytes"] for k, v in docs[w].items()} \
+                == {k: v["bytes"] * w for k, v in base.items()}

@@ -257,14 +257,42 @@ class TestOverlappedCA:
         assert ca.iterations == ov.iterations
         assert ca.history.residuals == ov.history.residuals
 
-    def test_auto_never_selects_overlap(self):
-        """``"auto"`` picks between standard and ca only; overlap is an
-        explicit opt-in."""
+    def test_auto_stays_on_ca_when_ring_pokes_out(self):
+        """``"auto"`` escalates to overlap only when the cost model
+        predicts the deep ring hides entirely; on generic_cpu the SpMV
+        window is tiny (no launch/sync latency, huge stream rate) so
+        the predictor keeps plain ca."""
         sim = Simulation(laplace2d(12), ranks=4, machine=generic_cpu())
         res = sstep_gmres(sim, sim.ones_solution_rhs(), s=4, restart=12,
                           tol=1e-8, maxiter=600,
                           options=SolverOptions(mpk_mode="auto"))
         assert res.diagnostics["mpk_mode"] == "ca"
+
+    def test_auto_overlap_tradeoff_across_machines(self):
+        """The auto escalation is a machine-dependent tradeoff: on stock
+        Summit the first owned-rows SpMV (big fixed launch overhead)
+        swallows the deep ring, so ``auto`` picks ``ca_overlap``; with
+        network/device latency scaled 16x the ring's fixed cost outgrows
+        that window and ``auto`` drops back to plain ``ca``."""
+        from repro.parallel.machine import summit
+
+        def run(machine):
+            sim = Simulation(laplace2d(16), ranks=4, machine=machine)
+            return sstep_gmres(sim, sim.ones_solution_rhs(), s=5,
+                               restart=20, tol=1e-8, maxiter=2000,
+                               options=SolverOptions(mpk_mode="auto"))
+
+        stock = summit()
+        lat16 = stock.with_overrides(
+            name="summit_lat16x",
+            net_latency_inter=stock.net_latency_inter * 16.0,
+            device_sync_latency=stock.device_sync_latency * 16.0)
+        res_stock = run(stock)
+        res_lat16 = run(lat16)
+        assert res_stock.diagnostics["mpk_mode"] == "ca_overlap"
+        assert res_lat16.diagnostics["mpk_mode"] == "ca"
+        # the escalation changes charges only, never values
+        np.testing.assert_array_equal(res_stock.x, res_lat16.x)
 
 
 class TestComposition:

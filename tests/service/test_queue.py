@@ -1,0 +1,162 @@
+"""SolveQueue: grouping, max-width/max-wait dispatch, result plumbing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.krylov.simulation import Simulation
+from repro.krylov.sstep_gmres import sstep_gmres
+from repro.matrices.stencil import laplace2d
+from repro.ortho.bcgs_pip import BCGSPIP2Scheme
+from repro.parallel.machine import generic_cpu
+from repro.service import SolveQueue
+
+S, RESTART = 4, 12
+
+
+def fresh_sim(nx=12, ranks=4):
+    return Simulation(laplace2d(nx), ranks=ranks, machine=generic_cpu())
+
+
+def make_queue(sim, **kw):
+    kw.setdefault("s", S)
+    kw.setdefault("restart", RESTART)
+    return SolveQueue(sim, **kw)
+
+
+def rhs(n, count, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.standard_normal(n) for _ in range(count)]
+
+
+class TestDispatchPolicy:
+    def test_full_group_dispatches_on_pump(self):
+        sim = fresh_sim()
+        q = make_queue(sim, max_width=4, max_wait=100.0)
+        for b in rhs(sim.n, 4):
+            q.submit(b, now=0.0)
+        assert q.pending == 4
+        assert q.pump(now=0.0) == 4
+        assert q.pending == 0
+        assert q.dispatched_widths == [4]
+
+    def test_partial_group_waits_out_max_wait(self):
+        sim = fresh_sim()
+        q = make_queue(sim, max_width=4, max_wait=10.0)
+        for b in rhs(sim.n, 2):
+            q.submit(b, now=0.0)
+        # young partial group: held back
+        assert q.pump(now=5.0) == 0
+        assert q.pending == 2
+        # oldest member crosses the wait bound: dispatched at width 2
+        assert q.pump(now=10.0) == 2
+        assert q.dispatched_widths == [2]
+
+    def test_backlog_drains_as_full_slices_plus_remainder(self):
+        sim = fresh_sim()
+        q = make_queue(sim, max_width=4, max_wait=0.0)
+        for b in rhs(sim.n, 10):
+            q.submit(b, now=0.0)
+        assert q.pump(now=0.0) == 10
+        assert q.dispatched_widths == [4, 4, 2]
+
+    def test_flush_ignores_wait_policy(self):
+        sim = fresh_sim()
+        q = make_queue(sim, max_width=8, max_wait=1e9)
+        for b in rhs(sim.n, 3):
+            q.submit(b, now=0.0)
+        assert q.flush() == 3
+        assert q.dispatched_widths == [3]
+
+    def test_default_now_is_the_modeled_clock(self):
+        sim = fresh_sim()
+        q = make_queue(sim, max_width=8, max_wait=1e9)
+        rid = q.submit(rhs(sim.n, 1)[0])
+        # tracer clock has not advanced past the submit stamp, so the
+        # wait policy holds the request back ...
+        assert q.pump() == 0
+        # ... until flush forces it
+        q.flush()
+        assert q.done(rid)
+
+
+class TestCompatibilityGrouping:
+    def test_incompatible_requests_never_share_a_batch(self):
+        sim = fresh_sim()
+        q = make_queue(sim, max_width=8, max_wait=0.0)
+        bs = rhs(sim.n, 4)
+        q.submit(bs[0], now=0.0)
+        q.submit(bs[1], now=0.0)
+        q.submit(bs[2], now=0.0, s=2)          # different s -> own batch
+        q.submit(bs[3], now=0.0, restart=8)    # different restart -> own
+        q.pump(now=0.0)
+        assert sorted(q.dispatched_widths) == [1, 1, 2]
+
+    def test_tol_and_maxiter_do_not_fragment_batches(self):
+        sim = fresh_sim()
+        q = make_queue(sim, max_width=8, max_wait=0.0)
+        for i, b in enumerate(rhs(sim.n, 3)):
+            q.submit(b, tol=10.0 ** -(4 + i), maxiter=100 * (i + 1),
+                     now=0.0)
+        q.pump(now=0.0)
+        assert q.dispatched_widths == [3]
+
+    def test_scheme_factory_groups_by_identity(self):
+        sim = fresh_sim()
+        q = make_queue(sim, max_width=8, max_wait=0.0)
+        bs = rhs(sim.n, 3)
+        q.submit(bs[0], now=0.0, scheme_factory=BCGSPIP2Scheme)
+        q.submit(bs[1], now=0.0, scheme_factory=BCGSPIP2Scheme)
+        q.submit(bs[2], now=0.0)  # default scheme -> separate batch
+        q.pump(now=0.0)
+        assert sorted(q.dispatched_widths) == [1, 2]
+
+
+class TestResults:
+    def test_results_match_independent_solves(self):
+        sim = fresh_sim()
+        q = make_queue(sim, max_width=4, max_wait=0.0)
+        bs = rhs(sim.n, 4)
+        rids = [q.submit(b, tol=1e-8, now=0.0) for b in bs]
+        q.pump(now=0.0)
+        for rid, b in zip(rids, bs):
+            res = q.result(rid)
+            ref = sstep_gmres(fresh_sim(), b, s=S, restart=RESTART,
+                              tol=1e-8)
+            np.testing.assert_array_equal(res.x, ref.x)
+            assert res.iterations == ref.iterations
+            assert res.history.residuals == ref.history.residuals
+            assert res.diagnostics["request_id"] == rid
+
+    def test_pending_result_raises(self):
+        sim = fresh_sim()
+        q = make_queue(sim, max_wait=1e9)
+        rid = q.submit(rhs(sim.n, 1)[0], now=0.0)
+        assert not q.done(rid)
+        with pytest.raises(KeyError, match="pending"):
+            q.result(rid)
+
+
+class TestValidation:
+    def test_bad_rhs_shape_rejected(self):
+        with pytest.raises(ShapeError):
+            make_queue(fresh_sim()).submit(np.ones(5))
+
+    def test_bad_x0_shape_rejected(self):
+        sim = fresh_sim()
+        with pytest.raises(ShapeError, match="x0"):
+            make_queue(sim).submit(np.ones(sim.n), np.ones(3))
+
+    def test_unknown_override_rejected(self):
+        sim = fresh_sim()
+        with pytest.raises(ConfigurationError, match="override"):
+            make_queue(sim).submit(np.ones(sim.n), tolerance=1e-8)
+
+    def test_bad_policy_knobs_rejected(self):
+        sim = fresh_sim()
+        with pytest.raises(ConfigurationError):
+            SolveQueue(sim, max_width=0)
+        with pytest.raises(ConfigurationError):
+            SolveQueue(sim, max_wait=-1.0)

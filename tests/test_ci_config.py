@@ -118,6 +118,11 @@ class TestWorkflow:
         assert overlap_step, "nightly has no overlap_tradeoff smoke"
         assert "--quick" in overlap_step
         assert "--out experiment-out" in overlap_step
+        # the service-throughput smoke re-asserts the batching claims
+        # nightly and drops BENCH_service.json into the uploaded dir
+        assert "service_throughput --quick" in runs, (
+            "nightly has no service_throughput smoke")
+        assert "tee experiment-out/service_throughput.txt" in runs
         # predicted-vs-measured validation runs nightly under a hard
         # timeout and drops BENCH_measured.json into the uploaded dir
         assert "backend_validation" in runs
@@ -184,7 +189,7 @@ class TestWorkflow:
         runs = "\n".join(step.get("run", "")
                          for step in doc["jobs"]["bench-smoke"]["steps"])
         for artifact in ("BENCH_kernels", "BENCH_sketch", "BENCH_gmres",
-                         "BENCH_precision", "BENCH_mpk"):
+                         "BENCH_precision", "BENCH_mpk", "BENCH_service"):
             assert (f"benchmarks/{artifact}.json" in runs
                     and f"bench-out/{artifact}.json" in runs), (
                 f"{artifact} not gated against its committed baseline")
@@ -206,13 +211,15 @@ class TestWorkflow:
                     "benchmarks/BENCH_precision.json",
                     "benchmarks/bench_mpk.py",
                     "benchmarks/BENCH_mpk.json",
+                    "benchmarks/BENCH_service.json",
                     "src/repro/experiments/sketch_stability.py",
                     "src/repro/experiments/rgs_convergence.py",
                     "src/repro/experiments/precision_stability.py",
                     "src/repro/experiments/ca_mpk_tradeoff.py",
                     "src/repro/experiments/overlap_tradeoff.py",
                     "src/repro/experiments/backend_validation.py",
-                    "src/repro/experiments/calibration.py"):
+                    "src/repro/experiments/calibration.py",
+                    "src/repro/experiments/service_throughput.py"):
             path = ref
             if ref.startswith("src/repro/experiments/"):
                 # referenced as a module invocation in the nightly job
@@ -340,6 +347,23 @@ class TestCommittedBaseline:
         rgs = art.record("test_solve_rgs_sketched")
         assert rgs.extra["iterations"] > 0
         assert art.record("test_solve_bcgs_pip2").extra["sync_count"] > 0
+
+    def test_service_baseline_artifact(self):
+        """The committed service baseline proves the batching acceptance
+        claim: width-8 >= 3x width-1 solves/sec on the latency-dominated
+        machine, per-dispatch collective counts width-invariant, and
+        every width bit-identical to independent solves."""
+        from repro.bench.artifacts import load_artifact
+        art = load_artifact(REPO / "benchmarks" / "BENCH_service.json")
+        assert art.name == "service"
+        assert art.record(
+            "service[summit_lat16x,w8]").extra["speedup"] >= 3.0
+        for machine in ("summit", "summit_lat16x"):
+            recs = [art.record(f"service[{machine},w{w}]")
+                    for w in (1, 2, 4, 8)]
+            counts = [r.extra["counts_per_batch"] for r in recs]
+            assert all(c == counts[0] for c in counts)
+            assert all(r.extra["bit_identical"] for r in recs)
 
 
 class TestPyproject:
